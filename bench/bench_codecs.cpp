@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark): wall-clock throughput of the wire
+// codecs on the hot paths -- every SIP message, routing packet, SLP
+// extension and RTP frame in the emulation (and on a real device) passes
+// through these. The paper targets iPAQ-class hardware, so parser cost
+// matters.
+#include <benchmark/benchmark.h>
+
+#include "routing/aodv_codec.hpp"
+#include "rtp/quality.hpp"
+#include "rtp/rtp.hpp"
+#include "sip/message.hpp"
+#include "sip/sdp.hpp"
+#include "slp/service.hpp"
+
+namespace {
+
+using namespace siphoc;
+
+const std::string kInviteWire =
+    "INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
+    "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKphoc77\r\n"
+    "Via: SIP/2.0/UDP 127.0.0.1:5070;branch=z9hG4bK74bf9\r\n"
+    "Max-Forwards: 69\r\n"
+    "From: \"Alice\" <sip:alice@voicehoc.ch>;tag=9fxced76sl\r\n"
+    "To: <sip:bob@voicehoc.ch>\r\n"
+    "Call-ID: 3848276298220188511@voicehoc.ch\r\n"
+    "CSeq: 1 INVITE\r\n"
+    "Contact: <sip:alice@10.0.0.1:5060>\r\n"
+    "Content-Type: application/sdp\r\n"
+    "\r\n"
+    "v=0\r\no=- 4711 1 IN IP4 10.0.0.1\r\ns=-\r\nc=IN IP4 10.0.0.1\r\n"
+    "t=0 0\r\nm=audio 8000 RTP/AVP 0\r\na=rtpmap:0 PCMU/8000\r\n";
+
+void BM_SipParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto m = sip::Message::parse(kInviteWire);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kInviteWire.size()));
+}
+BENCHMARK(BM_SipParse);
+
+void BM_SipSerialize(benchmark::State& state) {
+  auto m = sip::Message::parse(kInviteWire).value();
+  for (auto _ : state) {
+    auto wire = m.serialize();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_SipSerialize);
+
+void BM_SdpParse(benchmark::State& state) {
+  const std::string sdp = sip::Sdp::audio(net::Address(10, 0, 0, 1), 8000, 1)
+                              .serialize();
+  for (auto _ : state) {
+    auto parsed = sip::Sdp::parse(sdp);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SdpParse);
+
+void BM_AodvEncodeDecode(benchmark::State& state) {
+  routing::aodv::Rreq rreq;
+  rreq.rreq_id = 42;
+  rreq.dst = net::Address(10, 0, 0, 9);
+  rreq.orig = net::Address(10, 0, 0, 1);
+  const Bytes ext(32, 0xab);
+  for (auto _ : state) {
+    const Bytes wire = routing::aodv::encode(rreq, ext);
+    auto decoded = routing::aodv::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_AodvEncodeDecode);
+
+void BM_SlpExtensionRoundTrip(benchmark::State& state) {
+  slp::ExtensionBlock block;
+  for (int i = 0; i < state.range(0); ++i) {
+    slp::ServiceEntry e;
+    e.type = "sip-contact";
+    e.key = "user" + std::to_string(i) + "@voicehoc.ch";
+    e.value = "10.0.0.1:5060";
+    e.origin = net::Address(10, 0, 0, 1);
+    e.expires = TimePoint{} + seconds(60);
+    block.advertisements.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    const Bytes wire = slp::encode_extension(block, TimePoint{});
+    auto decoded = slp::decode_extension(wire, TimePoint{});
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SlpExtensionRoundTrip)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_RtpEncodeDecode(benchmark::State& state) {
+  const rtp::RtpPacket packet =
+      rtp::make_voice_packet(7, 160, 0xcafe, false, TimePoint{} + seconds(1));
+  for (auto _ : state) {
+    const Bytes wire = packet.encode();
+    auto decoded = rtp::RtpPacket::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RtpEncodeDecode);
+
+void BM_EModelScore(benchmark::State& state) {
+  double loss = 0;
+  for (auto _ : state) {
+    loss = loss > 40 ? 0 : loss + 0.1;
+    benchmark::DoNotOptimize(rtp::score_call({120.0, loss}));
+  }
+}
+BENCHMARK(BM_EModelScore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

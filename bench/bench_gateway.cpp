@@ -1,0 +1,198 @@
+// Experiment E4: Internet attachment -- gateway discovery, tunnel setup,
+// and failover.
+//
+// Measures, per hop distance from the gateway:
+//   (a) time from "gateway uplink appears" to "node is attached to the
+//       Internet" for SIPHoc's Connection Provider (SLP discovery + tunnel)
+//       and for the fixed-gateway baseline [8] (endpoint provisioned, so
+//       discovery is free -- the best case for the baseline);
+//   (b) failover: the original gateway dies while a second one exists;
+//       SIPHoc re-discovers, the fixed scheme never recovers.
+#include "baselines/push_gateway.hpp"
+#include "bench_table.hpp"
+#include "routing/aodv.hpp"
+#include "siphoc/connection_provider.hpp"
+#include "siphoc/gateway_provider.hpp"
+#include "slp/manet_slp.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+struct Net {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::RadioMedium> medium;
+  std::unique_ptr<net::Internet> internet;
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<routing::Aodv>> daemons;
+  std::vector<std::unique_ptr<slp::ManetSlp>> dirs;
+
+  explicit Net(std::size_t n, std::uint64_t seed) {
+    sim = std::make_unique<sim::Simulator>(seed);
+    medium = std::make_unique<net::RadioMedium>(*sim, net::RadioConfig{});
+    internet = std::make_unique<net::Internet>(*sim, milliseconds(20));
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<net::Host>(
+          *sim, static_cast<net::NodeId>(i), "n" + std::to_string(i)));
+      hosts.back()->attach_radio(
+          *medium,
+          net::Address{net::kManetPrefix.value() +
+                       static_cast<std::uint32_t>(i) + 1},
+          std::make_shared<net::StaticMobility>(
+              net::Position{100.0 * static_cast<double>(i), 0}));
+      daemons.push_back(std::make_unique<routing::Aodv>(*hosts.back()));
+      dirs.push_back(std::make_unique<slp::ManetSlp>(
+          *hosts.back(), *daemons.back(), slp::ManetSlpConfig::for_aodv()));
+      daemons.back()->start();
+    }
+  }
+};
+
+/// Time from uplink-up to attachment at the node `hops` away.
+double attach_time_siphoc(int hops, std::uint64_t seed) {
+  Net net(static_cast<std::size_t>(hops) + 1, seed);
+  GatewayProvider gateway(*net.hosts[0], *net.dirs[0]);
+  ConnectionProvider client(*net.hosts.back(), *net.dirs.back());
+  net.sim->run_for(seconds(2));  // routing warm-up, no gateway yet
+  net.hosts[0]->attach_wired(*net.internet, net::Address(192, 0, 2, 100));
+  const TimePoint t0 = net.sim->now();
+  gateway.start();
+  client.start();
+  const TimePoint deadline = t0 + seconds(60);
+  while (!client.internet_available() && net.sim->now() < deadline) {
+    net.sim->run_for(milliseconds(10));
+  }
+  return client.internet_available() ? to_millis(net.sim->now() - t0) : -1;
+}
+
+double attach_time_fixed(int hops, std::uint64_t seed) {
+  Net net(static_cast<std::size_t>(hops) + 1, seed);
+  TunnelServer server(*net.hosts[0]);
+  baselines::FixedGatewayConfig config;
+  config.gateway = {net.hosts[0]->manet_address(), net::kTunnelPort};
+  baselines::FixedGatewayClient client(*net.hosts.back(), config);
+  net.sim->run_for(seconds(2));
+  net.hosts[0]->attach_wired(*net.internet, net::Address(192, 0, 2, 100));
+  const TimePoint t0 = net.sim->now();
+  server.start();
+  client.start();
+  const TimePoint deadline = t0 + seconds(60);
+  while (!client.internet_available() && net.sim->now() < deadline) {
+    net.sim->run_for(milliseconds(10));
+  }
+  return client.internet_available() ? to_millis(net.sim->now() - t0) : -1;
+}
+
+/// Failover: gateway at n0 dies at t0; a second gateway exists at the far
+/// end. Returns recovery time in ms, or -1 if never recovered (120 s cap).
+double failover_time_siphoc(std::uint64_t seed) {
+  Net net(4, seed);
+  GatewayProvider gw0(*net.hosts[0], *net.dirs[0]);
+  GatewayProvider gw3(*net.hosts[3], *net.dirs[3]);
+  ConnectionProvider client(*net.hosts[1], *net.dirs[1]);
+  net.hosts[0]->attach_wired(*net.internet, net::Address(192, 0, 2, 100));
+  net.hosts[3]->attach_wired(*net.internet, net::Address(192, 0, 2, 103));
+  gw0.start();
+  gw3.start();
+  client.start();
+  net.sim->run_for(seconds(20));
+  if (!client.internet_available()) return -1;
+
+  gw0.stop();
+  net.hosts[0]->detach_wired();
+  net.medium->set_enabled(0, false);
+  const TimePoint t0 = net.sim->now();
+  // Wait for loss detection + re-attachment.
+  const TimePoint deadline = t0 + seconds(120);
+  bool lost = false;
+  while (net.sim->now() < deadline) {
+    net.sim->run_for(milliseconds(50));
+    if (!client.internet_available()) lost = true;
+    if (lost && client.internet_available()) {
+      return to_millis(net.sim->now() - t0);
+    }
+  }
+  return -1;
+}
+
+double failover_time_fixed(std::uint64_t seed) {
+  Net net(4, seed);
+  TunnelServer server0(*net.hosts[0]);
+  TunnelServer server3(*net.hosts[3]);
+  baselines::FixedGatewayConfig config;
+  config.gateway = {net.hosts[0]->manet_address(), net::kTunnelPort};
+  baselines::FixedGatewayClient client(*net.hosts[1], config);
+  net.hosts[0]->attach_wired(*net.internet, net::Address(192, 0, 2, 100));
+  net.hosts[3]->attach_wired(*net.internet, net::Address(192, 0, 2, 103));
+  server0.start();
+  server3.start();
+  client.start();
+  net.sim->run_for(seconds(20));
+  if (!client.internet_available()) return -1;
+
+  server0.stop();
+  net.hosts[0]->detach_wired();
+  net.medium->set_enabled(0, false);
+  const TimePoint t0 = net.sim->now();
+  const TimePoint deadline = t0 + seconds(120);
+  bool lost = false;
+  while (net.sim->now() < deadline) {
+    net.sim->run_for(milliseconds(50));
+    if (!client.internet_available()) lost = true;
+    if (lost && client.internet_available()) {
+      return to_millis(net.sim->now() - t0);
+    }
+  }
+  return -1;
+}
+
+void print_cell(double ms) {
+  if (ms < 0) {
+    std::printf(" %14s", "never");
+  } else {
+    std::printf(" %12.0f ms", ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E4a: time to Internet attachment vs distance from gateway",
+      "chain topology; uplink appears at t0; SIPHoc discovers the gateway\n"
+      "via MANET SLP then opens the L2 tunnel; the fixed baseline [8] has\n"
+      "the endpoint pre-provisioned (no discovery at all).");
+
+  std::printf("%5s | %15s | %18s\n", "hops", "SIPHoc", "fixed gateway [8]");
+  std::printf("------+-----------------+--------------------\n");
+  for (const int hops : {1, 2, 3, 4, 5}) {
+    std::printf("%5d |", hops);
+    print_cell(attach_time_siphoc(hops, 600 + static_cast<std::uint64_t>(hops)));
+    std::printf(" |");
+    print_cell(attach_time_fixed(hops, 600 + static_cast<std::uint64_t>(hops)));
+    std::printf("\n");
+  }
+
+  bench::print_header(
+      "E4b: gateway failover (gateway dies, another exists 3 hops away)",
+      "time from gateway death to restored Internet attachment.");
+  std::printf("%22s | %18s\n", "SIPHoc", "fixed gateway [8]");
+  std::printf("-----------------------+--------------------\n");
+  for (int run = 0; run < 3; ++run) {
+    const double s = failover_time_siphoc(700 + static_cast<std::uint64_t>(run));
+    const double f = failover_time_fixed(700 + static_cast<std::uint64_t>(run));
+    std::printf("      ");
+    print_cell(s);
+    std::printf("  |");
+    print_cell(f);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check: SIPHoc's gateway-discovery flood doubles as the route\n"
+      "establishment (the answering RREP installs the path), so it attaches\n"
+      "at least as fast as the pre-provisioned baseline, whose CONNECT must\n"
+      "still wait for its own AODV discovery. And only SIPHoc recovers from\n"
+      "gateway loss -- the fixed-topology limitation the paper's related-\n"
+      "work section calls out in [8].\n");
+  return 0;
+}

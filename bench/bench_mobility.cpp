@@ -1,0 +1,108 @@
+// Experiment E5: call setup under mobility.
+//
+// 15 nodes, random waypoint in a 350x350 m area, node speed swept from
+// static to 10 m/s. 10 call attempts per configuration (re-registering
+// between attempts). Reported per routing protocol: success rate and mean
+// setup time of the successful calls.
+//
+// Expected shape: success degrades with speed; the reactive protocol
+// (AODV) degrades more gracefully at high speed because it discovers
+// routes on demand, while OLSR serves stale topology between TC rounds.
+#include "bench_table.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+struct MobilityResult {
+  int attempts = 0;
+  int successes = 0;
+  std::vector<double> setup_ms;
+};
+
+MobilityResult run_one(RoutingKind routing, double speed,
+                       std::uint64_t seed) {
+  scenario::Options options;
+  options.seed = seed;
+  options.nodes = 16;
+  // A grid with 85 m spacing is connected when static; mobility then
+  // perturbs it (nodes start on the grid, roam the same bounding box).
+  options.topology = scenario::Topology::kGrid;
+  options.spacing = 85;
+  options.routing = routing;
+  if (speed > 0) {
+    options.mobile = true;
+    options.waypoint.width = 3 * 85;
+    options.waypoint.height = 3 * 85;
+    options.waypoint.min_speed = std::max(0.5, speed / 2);
+    options.waypoint.max_speed = speed;
+    options.waypoint.pause = seconds(1);
+  }
+
+  scenario::Testbed bed(options);
+  bed.start();
+  voip::SoftPhoneConfig pc;
+  pc.username = "alice";
+  pc.domain = "voicehoc.ch";
+  pc.answer_delay = Duration::zero();
+  auto& alice = bed.add_phone(0, pc);
+  pc.username = "bob";
+  auto& bob = bed.add_phone(15, pc);
+  bed.settle(routing == RoutingKind::kOlsr ? seconds(15) : seconds(4));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+  if (routing == RoutingKind::kOlsr) bed.run_for(seconds(6));
+
+  MobilityResult result;
+  for (int i = 0; i < 5; ++i) {
+    ++result.attempts;
+    const auto call = bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(10));
+    if (call.established) {
+      ++result.successes;
+      result.setup_ms.push_back(to_millis(call.setup_time));
+      bed.run_for(seconds(2));
+      alice.hang_up(call.call);
+    }
+    bed.run_for(seconds(5));  // topology keeps churning between attempts
+  }
+  return result;
+}
+
+MobilityResult run(RoutingKind routing, double speed, std::uint64_t seed) {
+  MobilityResult total;
+  for (int s = 0; s < 3; ++s) {
+    const auto r = run_one(routing, speed, seed + static_cast<std::uint64_t>(s));
+    total.attempts += r.attempts;
+    total.successes += r.successes;
+    total.setup_ms.insert(total.setup_ms.end(), r.setup_ms.begin(),
+                          r.setup_ms.end());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E5: call setup under mobility (16 nodes, random waypoint over a "
+      "255x255 m box)",
+      "15 call attempts per cell (3 seeds x 5); 'ok' = established within 10 s.");
+
+  std::printf("%7s | %22s | %22s\n", "speed", "SIPHoc+AODV", "SIPHoc+OLSR");
+  std::printf("%7s | %10s %11s | %10s %11s\n", "m/s", "ok", "setup ms",
+              "ok", "setup ms");
+  std::printf("--------+------------------------+------------------------\n");
+  for (const double speed : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    const auto aodv = run(RoutingKind::kAodv, speed, 900);
+    const auto olsr = run(RoutingKind::kOlsr, speed, 900);
+    std::printf("%7.0f | %6d/%-3d %11.1f | %6d/%-3d %11.1f\n", speed,
+                aodv.successes, aodv.attempts, bench::mean(aodv.setup_ms),
+                olsr.successes, olsr.attempts, bench::mean(olsr.setup_ms));
+  }
+  std::printf(
+      "\nshape check: success rate decreases with node speed; setup times\n"
+      "rise as discoveries/repairs get involved. On-demand AODV tolerates\n"
+      "churn better than periodically-refreshed OLSR state at high speed.\n");
+  return 0;
+}

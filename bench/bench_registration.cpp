@@ -1,0 +1,133 @@
+// Experiment E3: cost of SIP registration.
+//
+// Paper claim (section 3.1 + related work): with SIPHoc a REGISTER never
+// leaves the node -- the phone registers with its local proxy, and the
+// contact advertisement rides existing routing traffic. The broadcast-
+// REGISTER approach [12] floods the whole network once per registration
+// (and again on every refresh).
+//
+// Workload: a 16-node grid; U users register, then the network idles 60 s.
+// Reported: radio frames put on the air attributable to registration and
+// its upkeep.
+#include "baselines/flooding_sip.hpp"
+#include "bench_table.hpp"
+#include "routing/aodv.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+std::uint64_t run_siphoc(int users, std::uint64_t seed) {
+  scenario::Options options;
+  options.seed = seed;
+  options.nodes = 16;
+  options.topology = scenario::Topology::kGrid;
+  options.spacing = 90;
+  options.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(options);
+  bed.start();
+  std::vector<voip::SoftPhone*> phones;
+  for (int u = 0; u < users; ++u) {
+    phones.push_back(
+        &bed.add_phone(static_cast<std::size_t>(u), "user" + std::to_string(u)));
+  }
+  bed.settle(seconds(3));
+
+  // Baseline idle cost over the same duration (HELLO beacons etc.).
+  scenario::Testbed idle(options);
+  idle.start();
+  idle.settle(seconds(3));
+  idle.medium().reset_stats();
+  idle.run_for(seconds(70));
+  const std::uint64_t idle_frames = idle.medium().stats().frames_sent;
+
+  bed.medium().reset_stats();
+  for (auto* phone : phones) bed.register_and_wait(*phone);
+  bed.run_for(seconds(60));
+  const std::uint64_t total = bed.medium().stats().frames_sent;
+  return total > idle_frames ? total - idle_frames : 0;
+}
+
+std::uint64_t run_flooding(int users, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::RadioMedium medium(sim, net::RadioConfig{});
+  const auto positions = net::grid_positions(16, 90);
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<routing::Aodv>> daemons;
+  std::vector<std::unique_ptr<baselines::FloodingSipDirectory>> dirs;
+  for (std::size_t i = 0; i < 16; ++i) {
+    hosts.push_back(std::make_unique<net::Host>(
+        sim, static_cast<net::NodeId>(i), "n" + std::to_string(i)));
+    hosts.back()->attach_radio(
+        medium,
+        net::Address{net::kManetPrefix.value() +
+                     static_cast<std::uint32_t>(i) + 1},
+        std::make_shared<net::StaticMobility>(positions[i]));
+    daemons.push_back(std::make_unique<routing::Aodv>(*hosts.back()));
+    dirs.push_back(
+        std::make_unique<baselines::FloodingSipDirectory>(*hosts.back()));
+    daemons.back()->start();
+  }
+  sim.run_for(seconds(3));
+
+  // Idle comparison network (routing beacons only).
+  sim::Simulator idle_sim(seed);
+  net::RadioMedium idle_medium(idle_sim, net::RadioConfig{});
+  std::vector<std::unique_ptr<net::Host>> idle_hosts;
+  std::vector<std::unique_ptr<routing::Aodv>> idle_daemons;
+  for (std::size_t i = 0; i < 16; ++i) {
+    idle_hosts.push_back(std::make_unique<net::Host>(
+        idle_sim, static_cast<net::NodeId>(i), "n" + std::to_string(i)));
+    idle_hosts.back()->attach_radio(
+        idle_medium,
+        net::Address{net::kManetPrefix.value() +
+                     static_cast<std::uint32_t>(i) + 1},
+        std::make_shared<net::StaticMobility>(positions[i]));
+    idle_daemons.push_back(std::make_unique<routing::Aodv>(*idle_hosts.back()));
+    idle_daemons.back()->start();
+  }
+  idle_sim.run_for(seconds(3));
+  idle_medium.reset_stats();
+  idle_sim.run_for(seconds(60));
+  const std::uint64_t idle_frames = idle_medium.stats().frames_sent;
+
+  medium.reset_stats();
+  for (int u = 0; u < users; ++u) {
+    dirs[static_cast<std::size_t>(u)]->register_service(
+        "sip-contact", "user" + std::to_string(u) + "@x",
+        hosts[static_cast<std::size_t>(u)]->manet_address().to_string() +
+            ":5060",
+        minutes(5));
+  }
+  sim.run_for(seconds(60));
+  const std::uint64_t total = medium.stats().frames_sent;
+  return total > idle_frames ? total - idle_frames : 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E3: network cost of SIP registration (16-node grid, 60 s window)",
+      "radio frames attributable to registration + upkeep, idle-network\n"
+      "baseline subtracted. SIPHoc: REGISTER stays on the node; the\n"
+      "binding rides routing packets. Flooding-SIP [12]: one network-wide\n"
+      "flood per registration plus periodic refresh floods.");
+
+  std::printf("%6s | %18s | %22s\n", "users", "SIPHoc frames",
+              "flooding-SIP[12] frames");
+  std::printf("-------+--------------------+------------------------\n");
+  for (const int users : {1, 2, 4, 8, 12}) {
+    const auto siphoc_frames = run_siphoc(users, 500);
+    const auto flood_frames = run_flooding(users, 500);
+    std::printf("%6d | %18llu | %22llu\n", users,
+                static_cast<unsigned long long>(siphoc_frames),
+                static_cast<unsigned long long>(flood_frames));
+  }
+  std::printf(
+      "\nshape check: SIPHoc's cost stays near zero and flat in the number\n"
+      "of users; the flooding baseline grows linearly with users and keeps\n"
+      "paying refresh floods during the idle window.\n");
+  return 0;
+}

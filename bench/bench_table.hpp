@@ -1,0 +1,34 @@
+// Shared helpers for the benchmark binaries.
+//
+// The benches reproduce *evaluation tables/figures*: each prints the rows
+// of one experiment, measured in virtual time inside the deterministic
+// emulation (the interesting quantity; wall time only tells you how fast
+// the simulator runs). Repeated runs use distinct seeds and report means.
+#pragma once
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace siphoc::bench {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double maximum(const std::vector<double>& xs) {
+  double m = 0;
+  for (const double x : xs) m = std::max(m, x);
+  return m;
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+}  // namespace siphoc::bench

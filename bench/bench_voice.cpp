@@ -1,0 +1,96 @@
+// Experiment E6: voice quality vs hop count.
+//
+// The paper demonstrates calls on laptops/iPAQs but reports no audio
+// metrics; this bench quantifies what the listener gets. A 30 s G.711 call
+// (constant 50 pps, VAD off, so loss statistics are dense) is run over
+// 1..8 wireless hops, with and without 2% per-link radio loss. Reported:
+// effective loss after the jitter buffer, RFC 3550 jitter, one-way delay,
+// and the E-model MOS.
+#include "bench_table.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+struct VoiceRow {
+  bool ok = false;
+  double loss_percent = 0;
+  double jitter_ms = 0;
+  double delay_ms = 0;
+  double mos = 0;
+};
+
+VoiceRow run(int hops, double link_loss, std::uint64_t seed) {
+  scenario::Options options;
+  options.seed = seed;
+  options.nodes = static_cast<std::size_t>(hops) + 1;
+  options.topology = scenario::Topology::kChain;
+  options.spacing = 100;
+  options.routing = RoutingKind::kAodv;
+  options.radio.loss_probability = link_loss;
+
+  scenario::Testbed bed(options);
+  bed.start();
+  voip::SoftPhoneConfig pc;
+  pc.username = "alice";
+  pc.domain = "voicehoc.ch";
+  pc.voice.always_on = true;
+  pc.answer_delay = Duration::zero();
+  auto& alice = bed.add_phone(0, pc);
+  pc.username = "bob";
+  auto& bob = bed.add_phone(bed.size() - 1, pc);
+  bed.settle(seconds(3));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+
+  const auto call = bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(20));
+  VoiceRow row;
+  if (!call.established) return row;
+  bed.run_for(seconds(30));
+  const auto report = alice.call_report(call.call);
+  alice.hang_up(call.call);
+  bed.run_for(seconds(1));
+  if (!report) return row;
+  row.ok = true;
+  row.loss_percent = report->effective_loss_percent;
+  row.jitter_ms = report->jitter_ms;
+  row.delay_ms = report->mean_delay_ms;
+  row.mos = report->quality.mos;
+  return row;
+}
+
+void print_table(double link_loss) {
+  std::printf("per-link radio loss = %.0f%%\n", link_loss * 100);
+  std::printf("%5s | %9s %9s %9s %7s\n", "hops", "loss %", "jitter", "delay",
+              "MOS");
+  std::printf("------+----------------------------------------\n");
+  for (int hops = 1; hops <= 8; ++hops) {
+    const auto row = run(hops, link_loss,
+                         1100 + static_cast<std::uint64_t>(hops));
+    if (!row.ok) {
+      std::printf("%5d | call failed\n", hops);
+      continue;
+    }
+    std::printf("%5d | %8.2f%% %7.2fms %7.2fms %7.2f\n", hops,
+                row.loss_percent, row.jitter_ms, row.delay_ms, row.mos);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E6: voice quality vs hop count (30 s G.711 call, 50 pps)",
+      "listener-side metrics at the caller; jitter per RFC 3550; MOS from\n"
+      "the E-model (G.107) with a 60 ms playout buffer.");
+  print_table(0.0);
+  print_table(0.02);
+  std::printf(
+      "shape check: delay grows linearly with hops (~per-hop MAC latency);\n"
+      "with lossy links, effective loss compounds per hop (1-(1-p)^h) and\n"
+      "MOS declines accordingly -- multihop audio stays usable for the hop\n"
+      "counts the paper's testbed used (<= ~5).\n");
+  return 0;
+}

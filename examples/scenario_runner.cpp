@@ -1,0 +1,235 @@
+// scenario_runner: drive a SIPHoc deployment from a scenario script.
+//
+// The paper was presented as a live demo; this tool is the repeatable
+// version of that demo. It reads a small line-oriented script (or runs a
+// built-in one) describing a MANET, phones, and a sequence of actions, and
+// narrates what happens -- with optional live packet decoding.
+//
+//   ./scenario_runner            # run the built-in demo script
+//   ./scenario_runner my.scn     # run a script file
+//
+// Script commands (one per line; '#' starts a comment):
+//   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
+//   seed VALUE                                    -- RNG seed (before nodes)
+//   gateway NODE                                  -- wired uplink on a node
+//   provider DOMAIN                               -- Internet SIP provider
+//   phone NODE USER DOMAIN                        -- out-of-the-box phone
+//   settle SECONDS                                -- let protocols converge
+//   register USER                                 -- power on + REGISTER
+//   call USER TARGET-AOR                          -- place + await a call
+//   text USER TARGET-AOR MESSAGE...               -- send an instant message
+//   wait SECONDS                                  -- run the simulation
+//   hangup USER                                   -- end USER's last call
+//   slp NODE                                      -- dump a node's SLP view
+//   trace on|off                                  -- live packet decoding
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+const char kBuiltinScript[] = R"(# built-in demo: Figure 3 + a text message
+seed 7
+nodes 4 chain 100 aodv
+phone 0 alice voicehoc.ch
+phone 3 bob voicehoc.ch
+settle 3
+register alice
+register bob
+slp 3
+call alice bob@voicehoc.ch
+wait 5
+text bob alice@voicehoc.ch voice works, texting too
+wait 2
+hangup alice
+wait 1
+)";
+
+struct Runner {
+  std::unique_ptr<scenario::Testbed> bed;
+  std::unique_ptr<scenario::TraceRecorder> trace;
+  bool trace_live = false;
+  std::map<std::string, voip::SoftPhone*> phones;
+  std::map<std::string, sip::CallId> last_call;
+  std::uint64_t seed = 42;
+  int errors = 0;
+
+  void fail(const std::string& why) {
+    std::printf("  !! %s\n", why.c_str());
+    ++errors;
+  }
+
+  void ensure_bed() {
+    if (!bed) {
+      scenario::Options o;
+      o.seed = seed;
+      bed = std::make_unique<scenario::Testbed>(o);
+    }
+  }
+
+  void run_line(const std::string& raw) {
+    std::string line = raw.substr(0, raw.find('#'));
+    std::istringstream is(line);
+    std::string cmd;
+    if (!(is >> cmd)) return;
+    std::printf("> %s\n", std::string(trim(line)).c_str());
+
+    if (cmd == "seed") {
+      is >> seed;
+    } else if (cmd == "nodes") {
+      std::size_t n = 2;
+      std::string topo = "chain", routing = "aodv";
+      double spacing = 100;
+      is >> n >> topo >> spacing >> routing;
+      scenario::Options o;
+      o.seed = seed;
+      o.nodes = n;
+      o.spacing = spacing;
+      o.topology = topo == "grid"     ? scenario::Topology::kGrid
+                   : topo == "random" ? scenario::Topology::kRandomArea
+                                      : scenario::Topology::kChain;
+      o.routing = routing == "olsr" ? RoutingKind::kOlsr : RoutingKind::kAodv;
+      bed = std::make_unique<scenario::Testbed>(o);
+      trace = std::make_unique<scenario::TraceRecorder>(bed->medium());
+      bed->start();
+      std::printf("  %zu nodes, %s, %s routing\n", n, topo.c_str(),
+                  routing.c_str());
+    } else if (cmd == "gateway") {
+      ensure_bed();
+      std::size_t node = 0;
+      is >> node;
+      bed->make_gateway(node);
+    } else if (cmd == "provider") {
+      ensure_bed();
+      std::string domain;
+      is >> domain;
+      bed->add_provider(domain);
+    } else if (cmd == "phone") {
+      ensure_bed();
+      std::size_t node = 0;
+      std::string user, domain;
+      is >> node >> user >> domain;
+      auto& phone = bed->add_phone(node, user, domain);
+      voip::SoftPhoneEvents ev;
+      ev.on_incoming = [user](sip::CallId, const sip::Uri& from) {
+        std::printf("  [%s] ringing: call from %s\n", user.c_str(),
+                    from.aor().c_str());
+      };
+      ev.on_text = [user](const sip::Uri& from, const std::string& text) {
+        std::printf("  [%s] text from %s: \"%s\"\n", user.c_str(),
+                    from.aor().c_str(), text.c_str());
+      };
+      ev.on_ended = [user](sip::CallId) {
+        std::printf("  [%s] call ended\n", user.c_str());
+      };
+      phone.set_events(std::move(ev));
+      phones[user] = &phone;
+    } else if (cmd == "settle" || cmd == "wait") {
+      ensure_bed();
+      double s = 1;
+      is >> s;
+      bed->run_for(std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(s)));
+    } else if (cmd == "register") {
+      std::string user;
+      is >> user;
+      const auto it = phones.find(user);
+      if (it == phones.end()) return fail("unknown phone " + user);
+      const bool ok = bed->register_and_wait(*it->second);
+      std::printf("  [%s] REGISTER -> %s\n", user.c_str(),
+                  ok ? "200 OK" : "FAILED");
+      if (!ok) ++errors;
+    } else if (cmd == "call") {
+      std::string user, target;
+      is >> user >> target;
+      const auto it = phones.find(user);
+      if (it == phones.end()) return fail("unknown phone " + user);
+      const auto result = bed->call_and_wait(*it->second, target);
+      if (result.established) {
+        last_call[user] = result.call;
+        std::printf("  [%s] call to %s established in %.1f ms\n",
+                    user.c_str(), target.c_str(),
+                    to_millis(result.setup_time));
+      } else {
+        fail("call failed with status " +
+             std::to_string(result.failure_status));
+      }
+    } else if (cmd == "text") {
+      std::string user, target;
+      is >> user >> target;
+      std::string text;
+      std::getline(is, text);
+      const auto it = phones.find(user);
+      if (it == phones.end()) return fail("unknown phone " + user);
+      it->second->send_text(target, std::string(trim(text)),
+                            [this](bool ok, int status) {
+                              if (!ok) {
+                                fail("text delivery failed (" +
+                                     std::to_string(status) + ")");
+                              }
+                            });
+    } else if (cmd == "hangup") {
+      std::string user;
+      is >> user;
+      const auto it = last_call.find(user);
+      if (it == last_call.end()) return fail("no call to hang up");
+      phones.at(user)->hang_up(it->second);
+      if (const auto rep = phones.at(user)->call_report(it->second)) {
+        std::printf("  [%s] call quality: MOS %.2f, %.2f%% loss\n",
+                    user.c_str(), rep->quality.mos,
+                    rep->effective_loss_percent);
+      }
+    } else if (cmd == "slp") {
+      std::size_t node = 0;
+      is >> node;
+      if (!bed || node >= bed->size()) return fail("bad node");
+      std::printf("  MANET SLP on node %zu:\n", node);
+      for (const auto& e : bed->stack(node).slp().snapshot()) {
+        std::printf("    %s\n", e.to_string().c_str());
+      }
+    } else if (cmd == "trace") {
+      std::string mode;
+      is >> mode;
+      trace_live = mode == "on";
+      if (!trace_live && trace) {
+        std::printf("  (captured %zu frames)\n", trace->captured());
+      }
+    } else {
+      fail("unknown command '" + cmd + "'");
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    script = ss.str();
+    std::printf("== scenario: %s ==\n", argv[1]);
+  } else {
+    script = kBuiltinScript;
+    std::printf("== built-in demo scenario ==\n");
+  }
+
+  Runner runner;
+  for (const auto& line : split(script, '\n')) {
+    runner.run_line(line);
+  }
+  std::printf("\nscenario finished with %d error(s).\n", runner.errors);
+  return runner.errors == 0 ? 0 : 1;
+}

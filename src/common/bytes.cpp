@@ -1,0 +1,41 @@
+#include "common/bytes.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace siphoc {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string to_string(std::span<const std::uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::string out;
+  char line[24];
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    std::snprintf(line, sizeof(line), "%04zx  ", row);
+    out += line;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        std::snprintf(line, sizeof(line), "%02x ", data[row + i]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      const unsigned char c = data[row + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace siphoc

@@ -1,0 +1,130 @@
+// Binary wire-format helpers.
+//
+// All on-the-wire encodings in this project (AODV, OLSR, SLP extensions,
+// RTP, tunnel frames) are big-endian, mirroring the network byte order the
+// real protocols use. BufferWriter appends fields; BufferReader consumes
+// them with explicit bounds checking so a truncated or hostile packet can
+// never read past the end of the buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace siphoc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian encoded primitive fields to a byte vector.
+class BufferWriter {
+ public:
+  explicit BufferWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u16) string, the framing used by all our TLVs.
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+/// Bounds-checked big-endian reader over a byte span.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+  Result<std::uint8_t> u8() {
+    if (remaining() < 1) return fail("u8: buffer underrun");
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> u16() {
+    if (remaining() < 2) return fail("u16: buffer underrun");
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> u32() {
+    if (remaining() < 4) return fail("u32: buffer underrun");
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> u64() {
+    auto hi = u32();
+    if (!hi) return hi.error();
+    auto lo = u32();
+    if (!lo) return lo.error();
+    return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+  }
+  Result<std::string> str() {
+    auto len = u16();
+    if (!len) return len.error();
+    if (remaining() < *len) return fail("str: buffer underrun");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+    pos_ += *len;
+    return s;
+  }
+  Result<Bytes> raw(std::size_t n) {
+    if (remaining() < n) return fail("raw: buffer underrun");
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+  Result<void> skip(std::size_t n) {
+    if (remaining() < n) return fail("skip: buffer underrun");
+    pos_ += n;
+    return {};
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Converts ASCII text to bytes (SIP messages travel as text over UDP).
+Bytes to_bytes(std::string_view text);
+
+/// Interprets bytes as ASCII text.
+std::string to_string(std::span<const std::uint8_t> data);
+
+/// Hex dump with 16 bytes per row and an ASCII gutter, in the style of a
+/// packet analyzer pane (used by examples/packet_trace to render Figure 5).
+std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace siphoc

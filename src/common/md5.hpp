@@ -1,0 +1,22 @@
+// MD5 (RFC 1321), self-contained.
+//
+// Present solely because SIP HTTP-Digest authentication (RFC 3261 section
+// 22 / RFC 2617) is specified over MD5; this is an authentication
+// checksum, not a security boundary, exactly as deployed SIP uses it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace siphoc {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+Md5Digest md5(std::string_view data);
+
+/// Lowercase hex rendering, as digest auth headers carry it.
+std::string md5_hex(std::string_view data);
+
+}  // namespace siphoc

@@ -1,0 +1,4 @@
+#include "common/random.hpp"
+
+// Header-only today; this translation unit pins the module into the build so
+// a future out-of-line method has a home.

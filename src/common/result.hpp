@@ -1,0 +1,96 @@
+// Minimal expected/result type for recoverable errors.
+//
+// The protocol codecs (SIP grammar, SDP, routing packet formats) must not
+// throw on malformed network input -- a peer sending garbage is a normal
+// event, not an exceptional one. Result<T> makes the failure path explicit
+// at every call site while keeping success access cheap.
+//
+// C++23 std::expected is not available on this toolchain (GCC 12 / C++20),
+// so we carry a small local equivalent with the subset of the API we use.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace siphoc {
+
+/// Error payload: a human-readable message plus an optional machine code.
+struct Error {
+  std::string message;
+  int code = 0;
+
+  static Error make(std::string msg, int code = 0) {
+    return Error{std::move(msg), code};
+  }
+};
+
+/// Result<T>: either a value of T or an Error. Modeled after std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!has_value());
+    return std::get<1>(data_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return has_value() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success or an Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool has_value() const { return !error_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  const Error& error() const {
+    assert(!has_value());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience constructor mirroring std::unexpected.
+inline Error fail(std::string message, int code = 0) {
+  return Error::make(std::move(message), code);
+}
+
+}  // namespace siphoc

@@ -1,0 +1,72 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace siphoc {
+
+std::string_view trim(std::string_view s) {
+  const auto not_space = [](char c) { return c != ' ' && c != '\t'; };
+  while (!s.empty() && !not_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && !not_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_trimmed(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const auto& field : split(s, sep)) {
+    auto t = trim(field);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool istarts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         iequals(s.substr(0, prefix.size()), prefix);
+}
+
+std::pair<std::string, std::string> split_kv(std::string_view s, char sep) {
+  const auto pos = s.find(sep);
+  if (pos == std::string_view::npos) {
+    return {std::string(trim(s)), std::string()};
+  }
+  return {std::string(trim(s.substr(0, pos))),
+          std::string(trim(s.substr(pos + 1)))};
+}
+
+}  // namespace siphoc

@@ -1,0 +1,33 @@
+// Small string utilities shared by the text-protocol parsers (SIP, SDP, SLP
+// service URLs). SIP header names are case-insensitive per RFC 3261, hence
+// the ASCII case-folding helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siphoc {
+
+/// Removes leading and trailing spaces and tabs.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on a character, trimming each field; empty fields are dropped.
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+/// ASCII lower-casing (locale independent).
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality (SIP header names, methods in URIs).
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Splits "key=value" at the first '=' ; value is empty when no '='.
+std::pair<std::string, std::string> split_kv(std::string_view s, char sep);
+
+}  // namespace siphoc

@@ -1,0 +1,56 @@
+// Virtual time primitives used throughout the simulator and protocol stacks.
+//
+// All simulated time is expressed as a signed 64-bit count of microseconds
+// since the start of the simulation. Using a strong typedef (std::chrono
+// duration/time_point over a virtual clock) keeps unit errors out of the
+// protocol code: a raw integer cannot silently be interpreted as seconds in
+// one module and milliseconds in another.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace siphoc {
+
+/// Tag clock for simulated time. Never reads the wall clock; the simulator
+/// kernel is the only source of "now".
+struct VirtualClock {
+  using rep = std::int64_t;
+  using period = std::micro;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<VirtualClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = VirtualClock::duration;
+using TimePoint = VirtualClock::time_point;
+
+using std::chrono::hours;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::minutes;
+using std::chrono::seconds;
+
+/// Formats a time point as fractional seconds, e.g. "12.034567s".
+inline std::string format_time(TimePoint t) {
+  const auto us = t.time_since_epoch().count();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                static_cast<long long>(us / 1'000'000),
+                static_cast<long long>(us % 1'000'000 < 0 ? -(us % 1'000'000)
+                                                          : us % 1'000'000));
+  return buf;
+}
+
+/// Converts a duration to floating point seconds (for reporting only).
+inline double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Converts a duration to floating point milliseconds (for reporting only).
+inline double to_millis(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace siphoc

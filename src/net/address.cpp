@@ -1,0 +1,52 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace siphoc::net {
+
+std::string Address::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Address> Address::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255)
+      return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Address{value};
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto addr = Address::parse(text.substr(0, colon));
+  if (!addr) return std::nullopt;
+  const auto port_text = text.substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+      port > 65535)
+    return std::nullopt;
+  return Endpoint{*addr, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace siphoc::net

@@ -1,0 +1,89 @@
+// IPv4-style addressing for the emulated networks.
+//
+// The testbed uses three address realms, mirroring the paper's deployment:
+//   * 10.0.0.0/24      -- the MANET (one address per node, as on the laptops)
+//   * 192.0.2.0/24     -- the emulated public Internet (SIP providers)
+//   * 10.8.0.0/24      -- tunnel addresses handed out by gateway nodes
+//   * 127.0.0.1        -- loopback; the out-of-the-box VoIP clients talk to
+//                         their SIPHoc proxy via "outbound proxy = localhost"
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace siphoc::net {
+
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t value) : value_(value) {}
+  constexpr Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Address> parse(std::string_view text);
+
+  constexpr bool is_broadcast() const { return value_ == 0xffffffffu; }
+  constexpr bool is_loopback() const { return (value_ >> 24) == 127; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  /// True when this address falls inside prefix/len.
+  constexpr bool in_prefix(Address prefix, int len) const {
+    if (len <= 0) return true;
+    const std::uint32_t mask = len >= 32 ? 0xffffffffu : ~(0xffffffffu >> len);
+    return (value_ & mask) == (prefix.value_ & mask);
+  }
+
+  friend constexpr auto operator<=>(Address, Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline constexpr Address kAnyAddress{};
+inline constexpr Address kBroadcastAddress{0xffffffffu};
+inline constexpr Address kLoopbackAddress{127, 0, 0, 1};
+
+/// Well-known prefixes of the emulated deployment.
+inline constexpr Address kManetPrefix{10, 0, 0, 0};
+inline constexpr int kManetPrefixLen = 24;
+inline constexpr Address kInternetPrefix{192, 0, 2, 0};
+inline constexpr int kInternetPrefixLen = 24;
+inline constexpr Address kTunnelPrefix{10, 8, 0, 0};
+inline constexpr int kTunnelPrefixLen = 24;
+
+/// UDP endpoint: address + port.
+struct Endpoint {
+  Address address;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  static std::optional<Endpoint> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+}  // namespace siphoc::net
+
+template <>
+struct std::hash<siphoc::net::Address> {
+  std::size_t operator()(siphoc::net::Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<siphoc::net::Endpoint> {
+  std::size_t operator()(const siphoc::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint32_t>{}(e.address.value()) * 31 + e.port;
+  }
+};

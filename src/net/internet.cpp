@@ -1,0 +1,3 @@
+#include "net/internet.hpp"
+
+// Header-only; kept as a translation unit for build structure.

@@ -1,0 +1,79 @@
+// Emulated Internet segment.
+//
+// A wired backbone connecting SIP provider servers and the Internet-facing
+// interfaces of MANET gateway nodes. Delivery is reliable with a fixed
+// latency (the paper's providers -- siphoc.ch, netvoip.ch, polyphone.ethz.ch
+// -- live here as registrar/proxy hosts). Attachments are per-address, so a
+// gateway can additionally attach tunnel-client addresses on behalf of MANET
+// nodes, which is exactly how the layer-2 tunnel makes a node "automatically
+// attached to the Internet as well" (paper section 2).
+//
+// Also provides the DNS substitute: SIP domains resolve to Internet
+// addresses so a proxy can route "sip:alice@voicehoc.ch" to its provider.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace siphoc::net {
+
+class Internet {
+ public:
+  using DeliverFn = std::function<void(const Datagram&)>;
+
+  explicit Internet(sim::Simulator& sim, Duration latency = milliseconds(20))
+      : sim_(sim), latency_(latency) {}
+
+  void attach(Address address, DeliverFn deliver) {
+    attachments_[address] = std::move(deliver);
+  }
+  void detach(Address address) { attachments_.erase(address); }
+  bool attached(Address address) const {
+    return attachments_.contains(address);
+  }
+
+  /// Delivers to the attachment owning `dst`; silently drops otherwise
+  /// (like any Internet path to an unrouted address).
+  void send(const Datagram& datagram) {
+    ++datagrams_sent_;
+    bytes_sent_ += datagram.wire_size();
+    const auto it = attachments_.find(datagram.dst);
+    if (it == attachments_.end()) {
+      ++datagrams_dropped_;
+      return;
+    }
+    auto deliver = it->second;
+    sim_.schedule(latency_, [deliver, datagram] { deliver(datagram); });
+  }
+
+  // --- DNS substitute -------------------------------------------------
+  void register_domain(std::string domain, Address address) {
+    dns_[std::move(domain)] = address;
+  }
+  std::optional<Address> resolve(const std::string& domain) const {
+    const auto it = dns_.find(domain);
+    if (it == dns_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+  Duration latency() const { return latency_; }
+
+ private:
+  sim::Simulator& sim_;
+  Duration latency_;
+  std::unordered_map<Address, DeliverFn> attachments_;
+  std::unordered_map<std::string, Address> dns_;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t datagrams_dropped_ = 0;
+};
+
+}  // namespace siphoc::net

@@ -1,0 +1,120 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+namespace siphoc::net {
+
+RadioMedium::RadioMedium(sim::Simulator& sim, RadioConfig config)
+    : sim_(sim), config_(config) {}
+
+void RadioMedium::attach(RadioAttachment attachment) {
+  arp_[attachment.address] = attachment.mac;
+  radios_.push_back(std::move(attachment));
+}
+
+void RadioMedium::detach(NodeId mac) {
+  std::erase_if(radios_, [&](const RadioAttachment& r) {
+    if (r.mac != mac) return false;
+    return true;
+  });
+  std::erase_if(arp_, [&](const auto& kv) { return kv.second == mac; });
+}
+
+void RadioMedium::set_enabled(NodeId mac, bool enabled) {
+  for (auto& r : radios_) {
+    if (r.mac == mac) r.enabled = enabled;
+  }
+}
+
+const RadioAttachment* RadioMedium::find(NodeId mac) const {
+  const auto it = std::find_if(radios_.begin(), radios_.end(),
+                               [&](const auto& r) { return r.mac == mac; });
+  return it == radios_.end() ? nullptr : &*it;
+}
+
+TrafficClass RadioMedium::classify(const Datagram& d) {
+  switch (d.dst_port) {
+    case kAodvPort:
+    case kOlsrPort:
+      return TrafficClass::kRouting;
+    case kSlpPort:
+      return TrafficClass::kSlp;
+    case kSipPort:
+      return TrafficClass::kSip;
+    case kTunnelPort:
+    case kTunnelClientPort:
+      return TrafficClass::kTunnel;
+    default:
+      return d.dst_port >= kRtpPortBase && d.dst_port < kRtpPortBase + 1000
+                 ? TrafficClass::kRtp
+                 : TrafficClass::kOther;
+  }
+}
+
+void RadioMedium::transmit(const Frame& frame) {
+  const RadioAttachment* sender = find(frame.src_mac);
+  if (sender == nullptr || !sender->enabled) return;
+
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.wire_size();
+  auto& cls = stats_.by_class[classify(frame.datagram)];
+  ++cls.frames;
+  cls.bytes += frame.wire_size();
+  if (tap_) tap_(frame, sim_.now());
+
+  const Position from = sender->position();
+  const Duration tx_delay = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(static_cast<double>(frame.wire_size()) *
+                                    8.0 / config_.bitrate_bps));
+  const Duration arrival = tx_delay + config_.mac_latency;
+
+  bool unicast_reached = frame.dst_mac == kBroadcastMac;
+  for (const auto& rx : radios_) {
+    if (rx.mac == frame.src_mac || !rx.enabled) continue;
+    if (frame.dst_mac != kBroadcastMac && rx.mac != frame.dst_mac) continue;
+    if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) continue;
+    if (distance(from, rx.position()) > config_.range) continue;
+    unicast_reached = true;
+    if (config_.loss_probability > 0 &&
+        sim_.rng().chance(config_.loss_probability)) {
+      ++stats_.frames_lost;
+      continue;
+    }
+    ++stats_.frames_delivered;
+    // Copy what the closure needs: the attachment may move as radios_ grows.
+    auto deliver = rx.deliver;
+    sim_.schedule(arrival, [deliver, frame] { deliver(frame); });
+  }
+
+  if (!unicast_reached) {
+    ++stats_.unicast_unreachable;
+    if (sender->unicast_failed) {
+      auto notify = sender->unicast_failed;
+      sim_.schedule(arrival, [notify, frame] { notify(frame); });
+    }
+  }
+}
+
+std::optional<Address> RadioMedium::address_of(NodeId mac) const {
+  const RadioAttachment* r = find(mac);
+  if (r == nullptr) return std::nullopt;
+  return r->address;
+}
+
+std::optional<NodeId> RadioMedium::resolve(Address address) const {
+  const auto it = arp_.find(address);
+  if (it == arp_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RadioMedium::connected(NodeId a, NodeId b) const {
+  const RadioAttachment* ra = find(a);
+  const RadioAttachment* rb = find(b);
+  if (ra == nullptr || rb == nullptr || !ra->enabled || !rb->enabled)
+    return false;
+  if (link_filter_ && (!link_filter_(a, b) || !link_filter_(b, a)))
+    return false;
+  return distance(ra->position(), rb->position()) <= config_.range;
+}
+
+}  // namespace siphoc::net

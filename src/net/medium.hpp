@@ -1,0 +1,120 @@
+// Shared wireless medium (unit-disk radio model).
+//
+// A frame transmitted by a radio is delivered to every other radio within
+// `range` metres, after transmission delay (frame size / bitrate) plus a
+// small propagation/MAC latency, and subject to an independent per-receiver
+// loss probability. Unicast frames are filtered to the addressed MAC.
+//
+// A link filter lets scenarios forbid individual links regardless of
+// distance -- the software equivalent of the firewalls the paper installs
+// between testbed laptops "to enforce multihop communication".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/mobility.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace siphoc::net {
+
+struct RadioConfig {
+  double range = 120.0;              // metres (indoor 802.11b ballpark)
+  double loss_probability = 0.0;     // independent per receiver
+  double bitrate_bps = 11e6;         // 802.11b
+  Duration mac_latency = microseconds(500);  // contention + propagation
+};
+
+/// Traffic class, derived from UDP ports, for overhead accounting.
+enum class TrafficClass { kRouting, kSlp, kSip, kRtp, kTunnel, kOther };
+
+struct ClassStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct MediumStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;        // random loss draws
+  std::uint64_t unicast_unreachable = 0;  // addressed MAC out of range
+  std::unordered_map<TrafficClass, ClassStats> by_class;
+};
+
+/// What a node plugs into the medium.
+struct RadioAttachment {
+  NodeId mac = 0;
+  Address address;  // the radio's IP address (for ARP-style resolution)
+  std::function<Position()> position;
+  std::function<void(const Frame&)> deliver;
+  /// Invoked on the *sender* when a unicast frame had no reachable target
+  /// (802.11 missing-ACK feedback; AODV uses it to trigger RERR).
+  std::function<void(const Frame&)> unicast_failed;
+  bool enabled = true;
+};
+
+class RadioMedium {
+ public:
+  RadioMedium(sim::Simulator& sim, RadioConfig config);
+
+  /// Registers a radio; the attachment's callbacks must outlive the medium
+  /// or be detached first.
+  void attach(RadioAttachment attachment);
+  void detach(NodeId mac);
+  void set_enabled(NodeId mac, bool enabled);
+
+  /// Scenario hook: return false to forbid the (a, b) link entirely.
+  void set_link_filter(std::function<bool(NodeId, NodeId)> filter) {
+    link_filter_ = std::move(filter);
+  }
+
+  /// Observer invoked for every transmitted frame (packet_trace example and
+  /// tests use this as their "Wireshark").
+  void set_tap(std::function<void(const Frame&, TimePoint)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  void transmit(const Frame& frame);
+
+  /// ARP substitute: IP address -> MAC of the owning radio.
+  std::optional<NodeId> resolve(Address address) const;
+
+  /// Reverse lookup: MAC -> the radio's IP address.
+  std::optional<Address> address_of(NodeId mac) const;
+
+  /// True when the two radios are currently within range (and not filtered).
+  bool connected(NodeId a, NodeId b) const;
+
+  const MediumStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  const RadioConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  static TrafficClass classify(const Datagram& d);
+
+ private:
+  const RadioAttachment* find(NodeId mac) const;
+
+  sim::Simulator& sim_;
+  RadioConfig config_;
+  std::vector<RadioAttachment> radios_;
+  std::unordered_map<Address, NodeId> arp_;
+  std::function<bool(NodeId, NodeId)> link_filter_;
+  std::function<void(const Frame&, TimePoint)> tap_;
+  MediumStats stats_;
+};
+
+/// Well-known UDP ports of the emulated deployment.
+inline constexpr std::uint16_t kAodvPort = 654;
+inline constexpr std::uint16_t kOlsrPort = 698;
+inline constexpr std::uint16_t kSlpPort = 427;
+inline constexpr std::uint16_t kSipPort = 5060;
+inline constexpr std::uint16_t kTunnelPort = 5100;        // server side
+inline constexpr std::uint16_t kTunnelClientPort = 5101;  // client side
+inline constexpr std::uint16_t kRtpPortBase = 8000;
+
+}  // namespace siphoc::net

@@ -1,0 +1,64 @@
+#include "net/mobility.hpp"
+
+#include <cmath>
+
+namespace siphoc::net {
+
+double distance(Position a, Position b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+RandomWaypointMobility::RandomWaypointMobility(Position start,
+                                               RandomWaypointConfig config,
+                                               Rng rng)
+    : config_(config), rng_(rng), origin_(start), target_(start) {
+  // Start paused at the initial position; first leg begins at pause end.
+  pause_end_ = TimePoint{} + config_.pause;
+  leg_start_ = leg_end_ = TimePoint{};
+}
+
+void RandomWaypointMobility::next_leg(TimePoint now) {
+  origin_ = target_;
+  target_ = Position{rng_.uniform(0, config_.width),
+                     rng_.uniform(0, config_.height)};
+  const double speed = rng_.uniform(config_.min_speed, config_.max_speed);
+  const double dist = distance(origin_, target_);
+  const auto travel = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(dist / speed));
+  leg_start_ = now;
+  leg_end_ = now + travel;
+  pause_end_ = leg_end_ + config_.pause;
+}
+
+Position RandomWaypointMobility::position_at(TimePoint t) {
+  while (t >= pause_end_) next_leg(pause_end_);
+  if (t >= leg_end_) return target_;  // pausing at the waypoint
+  if (t <= leg_start_) return origin_;
+  const double f = std::chrono::duration<double>(t - leg_start_).count() /
+                   std::chrono::duration<double>(leg_end_ - leg_start_).count();
+  return Position{origin_.x + (target_.x - origin_.x) * f,
+                  origin_.y + (target_.y - origin_.y) * f};
+}
+
+std::vector<Position> chain_positions(std::size_t count, double spacing) {
+  std::vector<Position> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({spacing * static_cast<double>(i), 0});
+  }
+  return out;
+}
+
+std::vector<Position> grid_positions(std::size_t count, double spacing) {
+  std::vector<Position> out;
+  out.reserve(count);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({spacing * static_cast<double>(i % side),
+                   spacing * static_cast<double>(i / side)});
+  }
+  return out;
+}
+
+}  // namespace siphoc::net

@@ -1,0 +1,76 @@
+// Node positions and mobility models.
+//
+// The medium asks each radio for its position at transmit time, so mobility
+// models only need to answer "where are you now?". RandomWaypoint -- the
+// standard MANET evaluation model -- moves between uniformly drawn waypoints
+// at a uniformly drawn speed with pause times, computing positions
+// analytically along the current segment (no per-tick update events).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace siphoc::net {
+
+struct Position {
+  double x = 0;
+  double y = 0;
+};
+
+double distance(Position a, Position b);
+
+/// Interface: answers the node position at a given virtual time. Time must
+/// be non-decreasing across calls (simulation time only moves forward).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Position position_at(TimePoint t) = 0;
+};
+
+/// A node that never moves (the paper's laptops on desks).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Position p) : pos_(p) {}
+  Position position_at(TimePoint) override { return pos_; }
+  void set_position(Position p) { pos_ = p; }
+
+ private:
+  Position pos_;
+};
+
+struct RandomWaypointConfig {
+  double width = 500;       // metres
+  double height = 500;      // metres
+  double min_speed = 0.5;   // m/s; must be > 0 to avoid the frozen-node
+  double max_speed = 5.0;   // m/s   degenerate case of random waypoint
+  Duration pause = seconds(2);
+};
+
+/// Random waypoint: pick a destination uniformly in the area, travel there
+/// at a uniform random speed, pause, repeat.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  RandomWaypointMobility(Position start, RandomWaypointConfig config, Rng rng);
+
+  Position position_at(TimePoint t) override;
+
+ private:
+  void next_leg(TimePoint now);
+
+  RandomWaypointConfig config_;
+  Rng rng_;
+  Position origin_;
+  Position target_;
+  TimePoint leg_start_{};
+  TimePoint leg_end_{};   // arrival at target
+  TimePoint pause_end_{};  // end of the pause after arrival
+};
+
+/// Positions for common test topologies.
+std::vector<Position> chain_positions(std::size_t count, double spacing);
+std::vector<Position> grid_positions(std::size_t count, double spacing);
+
+}  // namespace siphoc::net

@@ -1,0 +1,54 @@
+#include "net/packet.hpp"
+
+namespace siphoc::net {
+
+Bytes Datagram::encode() const {
+  Bytes out;
+  BufferWriter w(out);
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  return out;
+}
+
+Result<Datagram> Datagram::decode(std::span<const std::uint8_t> data) {
+  BufferReader r(data);
+  Datagram d;
+  auto src = r.u32();
+  if (!src) return src.error();
+  d.src = Address{*src};
+  auto dst = r.u32();
+  if (!dst) return dst.error();
+  d.dst = Address{*dst};
+  auto sport = r.u16();
+  if (!sport) return sport.error();
+  d.src_port = *sport;
+  auto dport = r.u16();
+  if (!dport) return dport.error();
+  d.dst_port = *dport;
+  auto ttl = r.u8();
+  if (!ttl) return ttl.error();
+  d.ttl = *ttl;
+  auto proto = r.u8();
+  if (!proto) return proto.error();
+  d.protocol = static_cast<IpProto>(*proto);
+  auto len = r.u16();
+  if (!len) return len.error();
+  auto payload = r.raw(*len);
+  if (!payload) return payload.error();
+  d.payload = std::move(*payload);
+  return d;
+}
+
+std::string Datagram::summary() const {
+  return source().to_string() + " -> " + destination().to_string() + " (" +
+         std::to_string(payload.size()) + "B, ttl=" + std::to_string(ttl) +
+         ")";
+}
+
+}  // namespace siphoc::net

@@ -1,0 +1,67 @@
+// Packet model: L3 datagrams carrying UDP, and L2 frames on the radio.
+//
+// Every protocol in this project exchanges real serialized payload bytes
+// (SIP as RFC 3261 text, AODV/OLSR/SLP/RTP as big-endian binary), so the
+// datagram body is an opaque byte vector exactly as on a real wire. The
+// datagram itself also has a binary encoding -- that is what rides inside
+// the gateway's layer-2 tunnel (IP-in-UDP encapsulation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/address.hpp"
+
+namespace siphoc::net {
+
+/// Node identity at the link layer ("MAC address"). In the emulation each
+/// host owns exactly one radio with mac == host id.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kBroadcastMac = 0xffffffffu;
+
+/// IANA-style protocol numbers for the datagram `protocol` field.
+enum class IpProto : std::uint8_t {
+  kUdp = 17,
+};
+
+inline constexpr std::uint8_t kDefaultTtl = 64;
+
+/// An IP datagram with the UDP header folded in (the emulation carries only
+/// UDP traffic, as does the paper's stack: SIP, SLP, RTP and the tunnel all
+/// run over UDP).
+struct Datagram {
+  Address src;
+  Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = kDefaultTtl;
+  IpProto protocol = IpProto::kUdp;
+  Bytes payload;
+
+  Endpoint source() const { return {src, src_port}; }
+  Endpoint destination() const { return {dst, dst_port}; }
+
+  /// Wire size: 20-byte IP header + 8-byte UDP header + payload. Used for
+  /// transmission-delay and overhead accounting.
+  std::size_t wire_size() const { return 28 + payload.size(); }
+
+  /// Binary encoding for tunnel encapsulation.
+  Bytes encode() const;
+  static Result<Datagram> decode(std::span<const std::uint8_t> data);
+
+  std::string summary() const;
+};
+
+/// A link-layer frame as put on the radio medium.
+struct Frame {
+  NodeId src_mac = 0;
+  NodeId dst_mac = kBroadcastMac;  // kBroadcastMac = link broadcast
+  Datagram datagram;
+
+  /// 802.11-ish framing overhead on top of the datagram.
+  std::size_t wire_size() const { return 34 + datagram.wire_size(); }
+};
+
+}  // namespace siphoc::net

@@ -1,0 +1,470 @@
+#include "routing/aodv.hpp"
+
+#include <algorithm>
+
+namespace siphoc::routing {
+
+using aodv::Rerr;
+using aodv::Rrep;
+using aodv::Rreq;
+
+Aodv::Aodv(net::Host& host, AodvConfig config)
+    : host_(host), config_(config), log_("aodv", host.name()) {
+  table_.set_callbacks([this](const AodvRoute& r) { install_fib(r); },
+                       [this](const AodvRoute& r) { remove_fib(r); });
+}
+
+Aodv::~Aodv() { stop(); }
+
+void Aodv::start() {
+  if (running_) return;
+  running_ = true;
+  // The routing daemon owns the FIB: the convenience on-link /24 route the
+  // radio installs would make every MANET address look one hop away and
+  // suppress on-demand discovery. Only protocol-learned /32 routes remain.
+  host_.remove_route(net::kManetPrefix, net::kManetPrefixLen);
+  host_.bind(net::kAodvPort, [this](const net::Datagram& d,
+                                    const net::RxInfo& rx) { on_packet(d, rx); });
+  host_.set_route_resolver(
+      [this](net::Datagram d) { return on_no_route(std::move(d)); });
+  host_.set_link_failure_listener([this](const net::Frame& f) {
+    if (f.dst_mac == net::kBroadcastMac || host_.medium() == nullptr) return;
+    if (const auto neighbor = host_.medium()->address_of(f.dst_mac)) {
+      handle_link_break(*neighbor);
+    }
+  });
+  if (config_.use_hello) {
+    hello_timer_.start(host_.sim(), config_.hello_interval,
+                       [this] { send_hello(); }, milliseconds(100));
+  }
+  housekeeping_timer_.start(host_.sim(), milliseconds(500), [this] {
+    table_.expire(now());
+    check_neighbors();
+    const TimePoint t = now();
+    std::erase_if(rreq_seen_, [&](const auto& kv) { return kv.second <= t; });
+  });
+}
+
+void Aodv::stop() {
+  if (!running_) return;
+  running_ = false;
+  hello_timer_.stop();
+  housekeeping_timer_.stop();
+  for (auto& [dst, pending] : discoveries_) pending.timeout.cancel();
+  discoveries_.clear();
+  host_.unbind(net::kAodvPort);
+  host_.set_route_resolver(nullptr);
+  host_.set_link_failure_listener(nullptr);
+  host_.clear_routes(net::Interface::kRadio);
+  host_.add_route({net::kManetPrefix, net::kManetPrefixLen, std::nullopt,
+                   net::Interface::kRadio, /*metric=*/100});
+}
+
+std::size_t Aodv::buffered_count() const {
+  std::size_t n = 0;
+  for (const auto& [dst, p] : discoveries_) n += p.buffered.size();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// TX
+// --------------------------------------------------------------------------
+
+void Aodv::send_packet(const aodv::Message& message, net::Address unicast_to,
+                       const PacketInfo& info) {
+  Bytes ext;
+  if (handler_ != nullptr) ext = handler_->on_outgoing(info);
+  Bytes wire = aodv::encode(message, ext);
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  stats_.extension_bytes_sent += ext.size();
+  if (unicast_to.is_unspecified()) {
+    host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
+  } else {
+    host_.send_udp(net::kAodvPort, {unicast_to, net::kAodvPort},
+                   std::move(wire));
+  }
+}
+
+void Aodv::broadcast_rreq(Rreq rreq, const Bytes& query_ext) {
+  PacketInfo info{PacketKind::kAodvRreq, self(), rreq.dst};
+  Bytes ext;
+  if (handler_ != nullptr) ext = handler_->on_outgoing(info);
+  // A service-discovery flood carries its query in the extension block,
+  // merged after whatever the handler wanted to piggyback anyway.
+  ext.insert(ext.end(), query_ext.begin(), query_ext.end());
+  Bytes wire = aodv::encode(rreq, ext);
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  stats_.extension_bytes_sent += ext.size();
+  host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
+}
+
+void Aodv::send_hello() {
+  // RFC 3561 6.9: HELLO is an RREP with dst = self and hop count 0.
+  Rrep hello;
+  hello.dst = self();
+  hello.dst_seqno = seqno_;
+  hello.hop_count = 0;
+  hello.lifetime_ms = static_cast<std::uint32_t>(
+      to_millis(config_.allowed_hello_loss * config_.hello_interval));
+  hello.is_hello = true;
+  send_packet(hello, net::Address{},
+              PacketInfo{PacketKind::kAodvHello, self(), self()});
+}
+
+// --------------------------------------------------------------------------
+// RX
+// --------------------------------------------------------------------------
+
+void Aodv::on_packet(const net::Datagram& d, const net::RxInfo&) {
+  auto decoded = aodv::decode(d.payload);
+  if (!decoded) {
+    log_.warn("malformed AODV packet from ", d.src.to_string(), ": ",
+              decoded.error().message);
+    return;
+  }
+  // The datagram source is the transmitting previous hop: control packets
+  // travel link-locally (broadcast or one-hop unicast re-originated per hop).
+  const net::Address from = d.src;
+  on_neighbor_heard(from);
+
+  if (const auto* rreq = std::get_if<Rreq>(&decoded->message)) {
+    handle_rreq(*rreq, decoded->extension, from);
+  } else if (const auto* rrep = std::get_if<Rrep>(&decoded->message)) {
+    handle_rrep(*rrep, decoded->extension, from);
+  } else if (const auto* rerr = std::get_if<Rerr>(&decoded->message)) {
+    handle_rerr(*rerr, from);
+  }
+}
+
+void Aodv::handle_rreq(const Rreq& m, const Bytes& ext, net::Address from) {
+  if (m.orig == self()) return;  // own flood echoed back
+
+  const auto key = std::make_pair(m.orig, m.rreq_id);
+  const bool duplicate = rreq_seen_.contains(key);
+  rreq_seen_[key] = now() + config_.rreq_id_cache_ttl;
+
+  // Reverse route to the previous hop and to the originator (RFC 6.5).
+  table_.update(from, 0, false, 1, from, now() + config_.active_route_timeout);
+  table_.update(m.orig, m.orig_seqno, true,
+                static_cast<std::uint8_t>(m.hop_count + 1), from,
+                now() + config_.net_traversal_time());
+
+  if (duplicate) return;
+
+  // Hand the extension to the SLP plugin; it may answer the flood.
+  HandlerVerdict verdict;
+  if (handler_ != nullptr) {
+    verdict = handler_->on_incoming(
+        PacketInfo{PacketKind::kAodvRreq, m.orig, m.dst}, ext, m.orig);
+  }
+
+  const bool is_service_query = m.dst.is_unspecified();
+  if (is_service_query) {
+    if (verdict.answer) {
+      // Service hit: reply like a destination would, advertising a route to
+      // ourselves, with the reply extension piggybacked on the RREP.
+      seqno_ = std::max(seqno_ + 1, seqno_);
+      Rrep reply;
+      reply.dst = self();
+      reply.dst_seqno = seqno_;
+      reply.orig = m.orig;
+      reply.hop_count = 0;
+      reply.lifetime_ms =
+          static_cast<std::uint32_t>(to_millis(config_.my_route_timeout()));
+      Bytes wire = aodv::encode(reply, verdict.reply_extension);
+      ++stats_.control_packets_sent;
+      stats_.control_bytes_sent += wire.size();
+      stats_.extension_bytes_sent += verdict.reply_extension.size();
+      host_.send_udp(net::kAodvPort, {from, net::kAodvPort}, std::move(wire));
+      return;  // answered floods are not propagated further by this node
+    }
+  } else {
+    if (m.dst == self()) {
+      // RFC 6.6.1: destination replies; seqno maxed with requested.
+      if (m.unknown_seqno ||
+          static_cast<std::int32_t>(m.dst_seqno - seqno_) > 0) {
+        seqno_ = std::max(seqno_, m.dst_seqno);
+      }
+      ++seqno_;
+      Rrep reply;
+      reply.dst = self();
+      reply.dst_seqno = seqno_;
+      reply.orig = m.orig;
+      reply.hop_count = 0;
+      reply.lifetime_ms =
+          static_cast<std::uint32_t>(to_millis(config_.my_route_timeout()));
+      send_packet(reply, from,
+                  PacketInfo{PacketKind::kAodvRrep, self(), m.orig});
+      return;
+    }
+    // Intermediate node with a fresh-enough route replies (RFC 6.6.2).
+    const AodvRoute* route = table_.active(m.dst, now());
+    if (route != nullptr && route->valid_seqno && !m.unknown_seqno &&
+        static_cast<std::int32_t>(route->seqno - m.dst_seqno) >= 0) {
+      Rrep reply;
+      reply.dst = m.dst;
+      reply.dst_seqno = route->seqno;
+      reply.orig = m.orig;
+      reply.hop_count = route->hop_count;
+      reply.lifetime_ms = static_cast<std::uint32_t>(
+          to_millis(route->expires - now()));
+      table_.add_precursor(m.dst, from);
+      send_packet(reply, from,
+                  PacketInfo{PacketKind::kAodvRrep, self(), m.orig});
+      return;
+    }
+  }
+
+  // Propagate the flood.
+  if (m.ttl <= 1) return;
+  Rreq fwd = m;
+  fwd.hop_count += 1;
+  fwd.ttl -= 1;
+  // Re-encode with the original extension (the query travels with the
+  // flood); the local handler's own outgoing piggyback is not re-added to
+  // forwarded packets to keep flood size bounded.
+  Bytes wire = aodv::encode(fwd, ext);
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
+}
+
+void Aodv::handle_rrep(const Rrep& m, const Bytes& ext, net::Address from) {
+  if (m.is_hello) {
+    // Neighbor liveness + 1-hop route.
+    table_.update(m.dst, m.dst_seqno, true, 1, m.dst,
+                  now() + milliseconds(m.lifetime_ms));
+    if (handler_ != nullptr && !ext.empty()) {
+      handler_->on_incoming(PacketInfo{PacketKind::kAodvHello, m.dst, m.dst},
+                            ext, m.dst);
+    }
+    return;
+  }
+
+  // Forward route to the RREP destination (RFC 6.7).
+  table_.update(from, 0, false, 1, from, now() + config_.active_route_timeout);
+  table_.update(m.dst, m.dst_seqno, true,
+                static_cast<std::uint8_t>(m.hop_count + 1), from,
+                now() + milliseconds(m.lifetime_ms));
+
+  if (handler_ != nullptr && !ext.empty()) {
+    handler_->on_incoming(PacketInfo{PacketKind::kAodvRrep, m.dst, m.orig},
+                          ext, m.dst);
+  }
+
+  if (m.orig == self()) {
+    // Our discovery completed.
+    flush_buffered(m.dst);
+    // A service-discovery flood (dst unspecified at request time) completes
+    // via the pending entry keyed on the unspecified address.
+    flush_buffered(net::Address{});
+    return;
+  }
+
+  // Forward the RREP along the reverse route toward the originator.
+  const AodvRoute* reverse = table_.active(m.orig, now());
+  if (reverse == nullptr) {
+    log_.debug("no reverse route for RREP to ", m.orig.to_string());
+    return;
+  }
+  Rrep fwd = m;
+  fwd.hop_count += 1;
+  table_.add_precursor(m.dst, reverse->next_hop);
+  const AodvRoute* forward = table_.find(m.dst);
+  if (forward != nullptr) table_.add_precursor(m.orig, forward->next_hop);
+  Bytes wire = aodv::encode(fwd, ext);
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  stats_.extension_bytes_sent += ext.size();
+  host_.send_udp(net::kAodvPort, {reverse->next_hop, net::kAodvPort},
+                 std::move(wire));
+}
+
+void Aodv::handle_rerr(const Rerr& m, net::Address from) {
+  std::vector<std::pair<net::Address, std::uint32_t>> propagate;
+  std::set<net::Address> precursors;
+  for (const auto& u : m.destinations) {
+    const AodvRoute* r = table_.find(u.dst);
+    if (r != nullptr && r->valid && r->next_hop == from) {
+      auto pre = table_.invalidate(u.dst);
+      precursors.insert(pre.begin(), pre.end());
+      propagate.emplace_back(u.dst, u.seqno);
+    }
+  }
+  if (!propagate.empty()) {
+    send_rerr(propagate,
+              std::vector<net::Address>(precursors.begin(), precursors.end()));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Discovery
+// --------------------------------------------------------------------------
+
+bool Aodv::on_no_route(net::Datagram d) {
+  if (!running_) return false;
+  if (!d.dst.in_prefix(net::kManetPrefix, net::kManetPrefixLen)) return false;
+  auto& pending = discoveries_[d.dst];
+  if (pending.buffered.size() >= config_.max_buffered_per_dst) {
+    pending.buffered.pop_front();
+  }
+  const net::Address dst = d.dst;
+  pending.buffered.push_back(std::move(d));
+  if (pending.buffered.size() == 1 && pending.retries == 0 &&
+      pending.ttl == 0) {
+    start_discovery(dst);
+  }
+  return true;
+}
+
+void Aodv::start_discovery(net::Address dst) {
+  auto& pending = discoveries_[dst];
+  pending.ttl = config_.ttl_start;
+  pending.retries = 0;
+  ++stats_.route_discoveries;
+  send_rreq_for(dst, pending);
+}
+
+void Aodv::send_rreq_for(net::Address dst, PendingDiscovery& pending) {
+  ++rreq_id_;
+  ++seqno_;
+  Rreq rreq;
+  rreq.rreq_id = rreq_id_;
+  rreq.dst = dst;
+  rreq.orig = self();
+  rreq.orig_seqno = seqno_;
+  rreq.ttl = static_cast<std::uint8_t>(pending.ttl);
+  const AodvRoute* known = table_.find(dst);
+  if (known != nullptr && known->valid_seqno) {
+    rreq.dst_seqno = known->seqno;
+    rreq.unknown_seqno = false;
+  }
+  rreq_seen_[{self(), rreq.rreq_id}] = now() + config_.rreq_id_cache_ttl;
+  broadcast_rreq(rreq, pending.service_query ? pending.query_extension
+                                             : Bytes{});
+
+  const Duration wait = config_.ring_traversal_time(pending.ttl) *
+                        (1 << pending.retries);
+  pending.timeout.cancel();
+  pending.timeout = host_.sim().schedule(
+      wait, [this, dst] { on_discovery_timeout(dst); });
+}
+
+void Aodv::on_discovery_timeout(net::Address dst) {
+  const auto it = discoveries_.find(dst);
+  if (it == discoveries_.end()) return;
+  auto& pending = it->second;
+
+  // Expanding ring search, then full-diameter retries (RFC 6.4).
+  if (pending.ttl < config_.ttl_threshold) {
+    pending.ttl += config_.ttl_increment;
+    send_rreq_for(dst, pending);
+    return;
+  }
+  if (pending.ttl < config_.net_diameter) {
+    pending.ttl = config_.net_diameter;
+    send_rreq_for(dst, pending);
+    return;
+  }
+  if (pending.retries < config_.rreq_retries) {
+    ++pending.retries;
+    send_rreq_for(dst, pending);
+    return;
+  }
+  ++stats_.discovery_failures;
+  log_.debug("route discovery for ",
+             dst.is_unspecified() ? std::string("<service>") : dst.to_string(),
+             " failed after ", pending.retries, " retries; dropping ",
+             pending.buffered.size(), " datagrams");
+  discoveries_.erase(it);
+}
+
+void Aodv::flush_buffered(net::Address dst) {
+  const auto it = discoveries_.find(dst);
+  if (it == discoveries_.end()) return;
+  auto buffered = std::move(it->second.buffered);
+  it->second.timeout.cancel();
+  discoveries_.erase(it);
+  for (auto& d : buffered) host_.send_datagram(std::move(d));
+}
+
+bool Aodv::flood_query(Bytes extension) {
+  if (!running_) return false;
+  auto& pending = discoveries_[net::Address{}];
+  pending.service_query = true;
+  pending.query_extension = std::move(extension);
+  pending.ttl = config_.net_diameter;  // service floods go network-wide
+  pending.retries = 0;
+  ++stats_.route_discoveries;
+  send_rreq_for(net::Address{}, pending);
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Liveness
+// --------------------------------------------------------------------------
+
+void Aodv::on_neighbor_heard(net::Address neighbor) {
+  if (neighbor == self() || neighbor.is_unspecified()) return;
+  neighbors_[neighbor] = now();
+  table_.refresh(neighbor, now() + config_.active_route_timeout);
+}
+
+void Aodv::check_neighbors() {
+  if (!config_.use_hello) return;
+  const Duration max_silence =
+      config_.allowed_hello_loss * config_.hello_interval +
+      milliseconds(300);
+  std::vector<net::Address> lost;
+  for (const auto& [addr, last] : neighbors_) {
+    if (now() - last > max_silence) lost.push_back(addr);
+  }
+  for (const auto& addr : lost) {
+    neighbors_.erase(addr);
+    handle_link_break(addr);
+  }
+}
+
+void Aodv::handle_link_break(net::Address neighbor) {
+  neighbors_.erase(neighbor);
+  auto broken = table_.on_link_break(neighbor);
+  if (broken.empty()) return;
+  log_.debug("link to ", neighbor.to_string(), " broke, ", broken.size(),
+             " routes lost");
+  send_rerr(broken, {});
+}
+
+void Aodv::send_rerr(
+    const std::vector<std::pair<net::Address, std::uint32_t>>& unreachable,
+    const std::vector<net::Address>& precursors) {
+  Rerr rerr;
+  for (const auto& [dst, seqno] : unreachable) {
+    rerr.destinations.push_back({dst, seqno});
+  }
+  ++stats_.route_errors_sent;
+  if (precursors.size() == 1) {
+    send_packet(rerr, precursors.front(),
+                PacketInfo{PacketKind::kAodvRerr, self(), net::Address{}});
+  } else {
+    // Multiple (or unknown) precursors: broadcast, as RFC 3561 6.11 allows.
+    send_packet(rerr, net::Address{},
+                PacketInfo{PacketKind::kAodvRerr, self(), net::Address{}});
+  }
+}
+
+// --------------------------------------------------------------------------
+// FIB mirroring
+// --------------------------------------------------------------------------
+
+void Aodv::install_fib(const AodvRoute& route) {
+  host_.add_route({route.dst, 32, route.next_hop, net::Interface::kRadio,
+                   route.hop_count});
+}
+
+void Aodv::remove_fib(const AodvRoute& route) {
+  host_.remove_route(route.dst, 32);
+}
+
+}  // namespace siphoc::routing

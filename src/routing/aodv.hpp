@@ -1,0 +1,130 @@
+// AODV daemon (RFC 3561 subset) over the emulated host stack.
+//
+// Implements: on-demand route discovery with expanding ring search and
+// binary exponential retry, destination/originator sequence numbers, RREQ-ID
+// duplicate suppression, reverse/forward route setup, HELLO-based neighbor
+// liveness, link-layer failure feedback, RERR propagation along precursor
+// lists, and packet buffering during discovery.
+//
+// Additionally exposes the two SIPHoc integration points:
+//   * the RoutingHandler seam on every RREQ/RREP/HELLO (piggybacking), and
+//   * flood_query(): a destination-less RREQ used as a service-discovery
+//     flood; any node whose handler answers replies with an RREP that
+//     carries the reply extension *and* establishes the route back to it.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "net/host.hpp"
+#include "routing/aodv_codec.hpp"
+#include "routing/protocol.hpp"
+#include "routing/routing_table.hpp"
+
+namespace siphoc::routing {
+
+struct AodvConfig {
+  Duration hello_interval = seconds(1);
+  int allowed_hello_loss = 2;
+  Duration active_route_timeout = seconds(3);
+  Duration node_traversal_time = milliseconds(40);
+  int net_diameter = 35;
+  int rreq_retries = 2;
+  int ttl_start = 2;
+  int ttl_increment = 2;
+  int ttl_threshold = 7;
+  std::size_t max_buffered_per_dst = 16;
+  Duration rreq_id_cache_ttl = seconds(3);
+  bool use_hello = true;
+
+  Duration net_traversal_time() const {
+    return 2 * node_traversal_time * net_diameter;
+  }
+  Duration ring_traversal_time(int ttl) const {
+    return 2 * node_traversal_time * (ttl + 2);
+  }
+  Duration my_route_timeout() const { return 2 * active_route_timeout; }
+};
+
+class Aodv final : public Protocol {
+ public:
+  Aodv(net::Host& host, AodvConfig config = {});
+  ~Aodv() override;
+
+  std::string_view name() const override { return "aodv"; }
+  void start() override;
+  void stop() override;
+  void set_handler(RoutingHandler* handler) override { handler_ = handler; }
+  bool flood_query(Bytes extension) override;
+  const RoutingStats& stats() const override { return stats_; }
+
+  const AodvTable& table() const { return table_; }
+  const AodvConfig& config() const { return config_; }
+
+  /// Number of datagrams currently buffered awaiting discovery.
+  std::size_t buffered_count() const;
+
+ private:
+  struct PendingDiscovery {
+    int ttl = 0;
+    int retries = 0;
+    std::deque<net::Datagram> buffered;
+    sim::EventHandle timeout;
+    bool service_query = false;
+    Bytes query_extension;
+  };
+
+  net::Address self() const { return host_.manet_address(); }
+  TimePoint now() const { return host_.sim().now(); }
+
+  // --- packet TX ---------------------------------------------------------
+  void send_packet(const aodv::Message& message, net::Address unicast_to,
+                   const PacketInfo& info);
+  void broadcast_rreq(aodv::Rreq rreq, const Bytes& query_ext);
+  void send_hello();
+
+  // --- packet RX ---------------------------------------------------------
+  void on_packet(const net::Datagram& d, const net::RxInfo& rx);
+  void handle_rreq(const aodv::Rreq& m, const Bytes& ext, net::Address from);
+  void handle_rrep(const aodv::Rrep& m, const Bytes& ext, net::Address from);
+  void handle_rerr(const aodv::Rerr& m, net::Address from);
+
+  // --- discovery ---------------------------------------------------------
+  bool on_no_route(net::Datagram d);
+  void start_discovery(net::Address dst);
+  void send_rreq_for(net::Address dst, PendingDiscovery& pending);
+  void on_discovery_timeout(net::Address dst);
+  void flush_buffered(net::Address dst);
+
+  // --- neighbor/liveness --------------------------------------------------
+  void on_neighbor_heard(net::Address neighbor);
+  void check_neighbors();
+  void handle_link_break(net::Address neighbor);
+  void send_rerr(const std::vector<std::pair<net::Address, std::uint32_t>>&
+                     unreachable,
+                 const std::vector<net::Address>& precursors);
+
+  void install_fib(const AodvRoute& route);
+  void remove_fib(const AodvRoute& route);
+
+  net::Host& host_;
+  AodvConfig config_;
+  Logger log_;
+  RoutingHandler* handler_ = nullptr;
+  bool running_ = false;
+
+  AodvTable table_;
+  std::uint32_t seqno_ = 1;
+  std::uint32_t rreq_id_ = 0;
+  std::map<net::Address, PendingDiscovery> discoveries_;
+  // (orig, rreq_id) -> expiry, for duplicate suppression.
+  std::map<std::pair<net::Address, std::uint32_t>, TimePoint> rreq_seen_;
+  std::unordered_map<net::Address, TimePoint> neighbors_;  // last heard
+
+  sim::PeriodicTimer hello_timer_;
+  sim::PeriodicTimer housekeeping_timer_;
+  RoutingStats stats_;
+};
+
+}  // namespace siphoc::routing

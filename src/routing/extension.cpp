@@ -1,0 +1,23 @@
+#include "routing/protocol.hpp"
+
+namespace siphoc::routing {
+
+std::string_view to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kAodvRreq:
+      return "AODV-RREQ";
+    case PacketKind::kAodvRrep:
+      return "AODV-RREP";
+    case PacketKind::kAodvRerr:
+      return "AODV-RERR";
+    case PacketKind::kAodvHello:
+      return "AODV-HELLO";
+    case PacketKind::kOlsrHello:
+      return "OLSR-HELLO";
+    case PacketKind::kOlsrTc:
+      return "OLSR-TC";
+  }
+  return "?";
+}
+
+}  // namespace siphoc::routing

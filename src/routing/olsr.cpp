@@ -1,0 +1,399 @@
+#include "routing/olsr.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace siphoc::routing {
+
+using olsr::Hello;
+using olsr::LinkCode;
+using olsr::Message;
+using olsr::MsgType;
+using olsr::Packet;
+using olsr::Tc;
+
+Olsr::Olsr(net::Host& host, OlsrConfig config)
+    : host_(host), config_(config), log_("olsr", host.name()) {}
+
+Olsr::~Olsr() { stop(); }
+
+void Olsr::start() {
+  if (running_) return;
+  running_ = true;
+  // The daemon owns the FIB (see Aodv::start): drop the on-link /24 so
+  // only computed routes are used.
+  host_.remove_route(net::kManetPrefix, net::kManetPrefixLen);
+  host_.bind(net::kOlsrPort, [this](const net::Datagram& d,
+                                    const net::RxInfo& rx) { on_packet(d, rx); });
+  hello_timer_.start(host_.sim(), config_.hello_interval,
+                     [this] { send_hello(); }, milliseconds(200));
+  tc_timer_.start(host_.sim(), config_.tc_interval, [this] { send_tc(); },
+                  milliseconds(400));
+  housekeeping_timer_.start(host_.sim(), milliseconds(500),
+                            [this] { expire_state(); });
+}
+
+void Olsr::stop() {
+  if (!running_) return;
+  running_ = false;
+  hello_timer_.stop();
+  tc_timer_.stop();
+  housekeeping_timer_.stop();
+  route_calc_.cancel();
+  host_.unbind(net::kOlsrPort);
+  for (const auto& dst : installed_routes_) host_.remove_route(dst, 32);
+  installed_routes_.clear();
+  host_.add_route({net::kManetPrefix, net::kManetPrefixLen, std::nullopt,
+                   net::Interface::kRadio, /*metric=*/100});
+}
+
+void Olsr::nudge_advertisement() {
+  if (!running_) return;
+  send_hello();
+  send_tc();
+}
+
+std::set<net::Address> Olsr::symmetric_neighbors() const {
+  std::set<net::Address> out;
+  for (const auto& [addr, link] : links_) {
+    if (link.sym_until > now()) out.insert(addr);
+  }
+  return out;
+}
+
+bool Olsr::has_route(net::Address dst) const {
+  return installed_routes_.contains(dst);
+}
+
+// --------------------------------------------------------------------------
+// TX
+// --------------------------------------------------------------------------
+
+void Olsr::send_hello() {
+  Message m;
+  m.type = MsgType::kHello;
+  m.vtime_ms = static_cast<std::uint16_t>(to_millis(config_.neighbor_hold));
+  m.originator = self();
+  m.ttl = 1;  // HELLO never leaves the 1-hop neighborhood
+  m.msg_seq = ++msg_seq_;
+
+  Hello::LinkGroup sym{LinkCode::kSym, {}};
+  Hello::LinkGroup mpr{LinkCode::kMpr, {}};
+  Hello::LinkGroup asym{LinkCode::kAsym, {}};
+  for (const auto& [addr, link] : links_) {
+    if (link.sym_until > now()) {
+      (mprs_.contains(addr) ? mpr : sym).neighbors.push_back(addr);
+    } else if (link.last_heard + config_.neighbor_hold > now()) {
+      asym.neighbors.push_back(addr);
+    }
+  }
+  for (auto* g : {&mpr, &sym, &asym}) {
+    if (!g->neighbors.empty()) m.hello.links.push_back(*g);
+  }
+
+  if (handler_ != nullptr) {
+    m.extension = handler_->on_outgoing(
+        PacketInfo{PacketKind::kOlsrHello, self(), net::Address{}});
+  }
+  transmit(std::move(m));
+}
+
+void Olsr::send_tc() {
+  // RFC 3626 9.3: TC only when we have MPR selectors (someone routes
+  // through us) -- but SIPHoc-style piggybacking still needs the proactive
+  // channel, so we also emit a TC when the handler has payload to ship.
+  Bytes ext;
+  if (handler_ != nullptr) {
+    ext = handler_->on_outgoing(
+        PacketInfo{PacketKind::kOlsrTc, self(), net::Address{}});
+  }
+  if (selectors_.empty() && ext.empty()) return;
+
+  Message m;
+  m.type = MsgType::kTc;
+  m.vtime_ms = static_cast<std::uint16_t>(to_millis(config_.topology_hold));
+  m.originator = self();
+  m.ttl = 255;
+  m.msg_seq = ++msg_seq_;
+  m.tc.ansn = ++ansn_;
+  m.tc.advertised.assign(selectors_.begin(), selectors_.end());
+  m.extension = std::move(ext);
+  duplicates_.insert({self(), m.msg_seq});
+  duplicate_ttl_[{self(), m.msg_seq}] = now() + seconds(30);
+  transmit(std::move(m));
+}
+
+void Olsr::transmit(Message message) {
+  Packet p;
+  p.pkt_seq = ++pkt_seq_;
+  stats_.extension_bytes_sent += message.extension.size();
+  p.messages.push_back(std::move(message));
+  Bytes wire = olsr::encode(p);
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  host_.send_broadcast(net::kOlsrPort, net::kOlsrPort, std::move(wire));
+}
+
+// --------------------------------------------------------------------------
+// RX
+// --------------------------------------------------------------------------
+
+void Olsr::on_packet(const net::Datagram& d, const net::RxInfo&) {
+  auto packet = olsr::decode(d.payload);
+  if (!packet) {
+    log_.warn("malformed OLSR packet from ", d.src.to_string(), ": ",
+              packet.error().message);
+    return;
+  }
+  const net::Address prev_hop = d.src;
+  for (const auto& m : packet->messages) {
+    if (m.originator == self()) continue;
+
+    if (m.type == MsgType::kHello) {
+      process_hello(m, prev_hop);
+      if (handler_ != nullptr) {
+        handler_->on_incoming(
+            PacketInfo{PacketKind::kOlsrHello, m.originator, net::Address{}},
+            m.extension, m.originator);
+      }
+      continue;
+    }
+
+    // TC: duplicate-suppressed processing + MPR forwarding.
+    const auto key = std::make_pair(m.originator, m.msg_seq);
+    if (duplicates_.contains(key)) continue;
+    duplicates_.insert(key);
+    duplicate_ttl_[key] = now() + seconds(30);
+
+    process_tc(m);
+    if (handler_ != nullptr) {
+      handler_->on_incoming(
+          PacketInfo{PacketKind::kOlsrTc, m.originator, net::Address{}},
+          m.extension, m.originator);
+    }
+    maybe_forward(m, prev_hop);
+  }
+}
+
+void Olsr::process_hello(const Message& m, net::Address from) {
+  auto& link = links_[from];
+  link.last_heard = now();
+
+  // Symmetry check: do they list us in any group?
+  bool lists_us = false;
+  bool selects_us_mpr = false;
+  for (const auto& g : m.hello.links) {
+    for (const auto& n : g.neighbors) {
+      if (n == self()) {
+        lists_us = true;
+        if (g.code == LinkCode::kMpr) selects_us_mpr = true;
+      }
+    }
+  }
+  if (lists_us) link.sym_until = now() + config_.neighbor_hold;
+  link.is_mpr_of_us = selects_us_mpr;
+  if (selects_us_mpr) {
+    selectors_.insert(from);
+  } else {
+    selectors_.erase(from);
+  }
+
+  // Two-hop neighborhood: their symmetric neighbors (excluding us).
+  std::set<net::Address> their_neighbors;
+  for (const auto& g : m.hello.links) {
+    if (g.code == LinkCode::kAsym) continue;
+    for (const auto& n : g.neighbors) {
+      if (n != self()) their_neighbors.insert(n);
+    }
+  }
+  two_hop_[from] = std::move(their_neighbors);
+
+  select_mprs();
+  schedule_route_calc();
+}
+
+void Olsr::process_tc(const Message& m) {
+  // RFC 9.5: discard entries from this originator with older ANSN; keep
+  // only the newest advertisement set.
+  std::erase_if(topology_, [&](const TopologyEdge& e) {
+    return e.last_hop == m.originator &&
+           static_cast<std::int16_t>(m.tc.ansn - e.ansn) > 0;
+  });
+  for (const auto& dest : m.tc.advertised) {
+    const auto it = std::find_if(
+        topology_.begin(), topology_.end(), [&](const TopologyEdge& e) {
+          return e.last_hop == m.originator && e.dest == dest;
+        });
+    if (it != topology_.end()) {
+      it->ansn = m.tc.ansn;
+      it->expires = now() + config_.topology_hold;
+    } else {
+      topology_.push_back(
+          {m.originator, dest, m.tc.ansn, now() + config_.topology_hold});
+    }
+  }
+  schedule_route_calc();
+}
+
+void Olsr::maybe_forward(const Message& m, net::Address prev_hop) {
+  // Default forwarding algorithm: retransmit only if the previous hop has
+  // selected us as MPR, the link is symmetric, and TTL allows it.
+  if (m.ttl <= 1) return;
+  if (!is_symmetric(prev_hop)) return;
+  const auto it = links_.find(prev_hop);
+  if (it == links_.end() || !it->second.is_mpr_of_us) return;
+
+  Message fwd = m;
+  fwd.ttl -= 1;
+  fwd.hop_count += 1;
+  transmit(std::move(fwd));
+}
+
+// --------------------------------------------------------------------------
+// MPR selection (RFC 8.3.1, greedy heuristic)
+// --------------------------------------------------------------------------
+
+void Olsr::select_mprs() {
+  std::set<net::Address> neighbors = symmetric_neighbors();
+
+  // Two-hop nodes strictly two hops away.
+  std::set<net::Address> uncovered;
+  for (const auto& n : neighbors) {
+    const auto it = two_hop_.find(n);
+    if (it == two_hop_.end()) continue;
+    for (const auto& t : it->second) {
+      if (t != self() && !neighbors.contains(t)) uncovered.insert(t);
+    }
+  }
+
+  std::set<net::Address> mprs;
+  // First: neighbors that are the only path to some two-hop node.
+  for (const auto& t : uncovered) {
+    net::Address only;
+    int count = 0;
+    for (const auto& n : neighbors) {
+      const auto it = two_hop_.find(n);
+      if (it != two_hop_.end() && it->second.contains(t)) {
+        only = n;
+        ++count;
+      }
+    }
+    if (count == 1) mprs.insert(only);
+  }
+  for (const auto& n : mprs) {
+    const auto it = two_hop_.find(n);
+    if (it == two_hop_.end()) continue;
+    for (const auto& t : it->second) uncovered.erase(t);
+  }
+  // Greedy: repeatedly pick the neighbor covering the most remaining.
+  while (!uncovered.empty()) {
+    net::Address best;
+    std::size_t best_cover = 0;
+    for (const auto& n : neighbors) {
+      if (mprs.contains(n)) continue;
+      const auto it = two_hop_.find(n);
+      if (it == two_hop_.end()) continue;
+      std::size_t cover = 0;
+      for (const auto& t : it->second) {
+        if (uncovered.contains(t)) ++cover;
+      }
+      if (cover > best_cover) {
+        best_cover = cover;
+        best = n;
+      }
+    }
+    if (best_cover == 0) break;  // leftover two-hop nodes are unreachable
+    mprs.insert(best);
+    for (const auto& t : two_hop_.at(best)) uncovered.erase(t);
+  }
+  mprs_ = std::move(mprs);
+}
+
+// --------------------------------------------------------------------------
+// Route calculation (hop-count Dijkstra == BFS over links + topology)
+// --------------------------------------------------------------------------
+
+void Olsr::schedule_route_calc() {
+  if (route_calc_pending_) return;
+  route_calc_pending_ = true;
+  route_calc_ = host_.sim().schedule(config_.route_recalc_delay, [this] {
+    route_calc_pending_ = false;
+    calculate_routes();
+  });
+}
+
+void Olsr::calculate_routes() {
+  if (!running_) return;
+  struct Hop {
+    net::Address next_hop;
+    int distance = 0;
+  };
+  std::unordered_map<net::Address, Hop> reach;
+  std::queue<net::Address> frontier;
+
+  for (const auto& n : symmetric_neighbors()) {
+    reach[n] = {n, 1};
+    frontier.push(n);
+  }
+  // Adjacency from TC edges (last_hop -> dest) in both directions: links
+  // are bidirectional once symmetric.
+  while (!frontier.empty()) {
+    const net::Address u = frontier.front();
+    frontier.pop();
+    const Hop hop = reach.at(u);
+    for (const auto& e : topology_) {
+      if (e.expires <= now()) continue;
+      net::Address v;
+      if (e.last_hop == u) v = e.dest;
+      else if (e.dest == u) v = e.last_hop;
+      else continue;
+      if (v == self() || reach.contains(v)) continue;
+      reach[v] = {hop.next_hop, hop.distance + 1};
+      frontier.push(v);
+    }
+  }
+
+  // Mirror into the host FIB: add new/changed, drop vanished.
+  std::set<net::Address> next_installed;
+  for (const auto& [dst, hop] : reach) {
+    host_.add_route(
+        {dst, 32, hop.next_hop, net::Interface::kRadio, hop.distance});
+    next_installed.insert(dst);
+  }
+  for (const auto& dst : installed_routes_) {
+    if (!next_installed.contains(dst)) host_.remove_route(dst, 32);
+  }
+  installed_routes_ = std::move(next_installed);
+}
+
+void Olsr::expire_state() {
+  const TimePoint t = now();
+  bool changed = false;
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.last_heard + config_.neighbor_hold <= t) {
+      selectors_.erase(it->first);
+      two_hop_.erase(it->first);
+      it = links_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  const auto before = topology_.size();
+  std::erase_if(topology_,
+                [&](const TopologyEdge& e) { return e.expires <= t; });
+  changed = changed || topology_.size() != before;
+  std::erase_if(duplicate_ttl_, [&](const auto& kv) {
+    if (kv.second <= t) {
+      duplicates_.erase(kv.first);
+      return true;
+    }
+    return false;
+  });
+  if (changed) {
+    select_mprs();
+    schedule_route_calc();
+  }
+}
+
+}  // namespace siphoc::routing

@@ -1,0 +1,122 @@
+// OLSR daemon (RFC 3626 subset) over the emulated host stack.
+//
+// Implements link sensing with symmetry confirmation via HELLO, two-hop
+// neighborhood tracking, greedy MPR selection, TC origination by nodes with
+// MPR selectors, MPR-based default forwarding with duplicate suppression,
+// a topology set with validity times, and hop-count shortest-path (Dijkstra)
+// route computation mirrored into the host FIB.
+//
+// SIPHoc integration: the RoutingHandler seam fires for every originated
+// HELLO and TC, and for every *first* reception of a message carrying an
+// extension (forwarded copies keep the original extension, so a TC floods
+// the advertisement to every node -- the proactive piggyback channel).
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "net/host.hpp"
+#include "routing/olsr_codec.hpp"
+#include "routing/protocol.hpp"
+
+namespace siphoc::routing {
+
+struct OlsrConfig {
+  Duration hello_interval = seconds(2);
+  Duration tc_interval = seconds(5);
+  Duration neighbor_hold = seconds(6);
+  Duration topology_hold = seconds(15);
+  Duration route_recalc_delay = milliseconds(20);
+};
+
+class Olsr final : public Protocol {
+ public:
+  Olsr(net::Host& host, OlsrConfig config = {});
+  ~Olsr() override;
+
+  std::string_view name() const override { return "olsr"; }
+  void start() override;
+  void stop() override;
+  void set_handler(RoutingHandler* handler) override { handler_ = handler; }
+
+  /// OLSR is proactive: there is no on-demand flood; lookups are served
+  /// from converged caches. Returns false so callers fall back to waiting.
+  bool flood_query(Bytes) override { return false; }
+
+  /// Early advertisement round: emit HELLO and TC now instead of waiting
+  /// for the next period (used right after a registration so the new SIP
+  /// binding propagates promptly).
+  void nudge_advertisement() override;
+
+  const RoutingStats& stats() const override { return stats_; }
+
+  // Introspection for tests.
+  std::set<net::Address> symmetric_neighbors() const;
+  const std::set<net::Address>& mpr_set() const { return mprs_; }
+  const std::set<net::Address>& mpr_selectors() const { return selectors_; }
+  bool has_route(net::Address dst) const;
+
+ private:
+  struct LinkInfo {
+    TimePoint last_heard{};
+    TimePoint sym_until{};  // symmetric while now < sym_until
+    bool is_mpr_of_us = false;
+  };
+  struct TopologyEdge {
+    net::Address last_hop;  // TC originator
+    net::Address dest;      // advertised neighbor
+    std::uint16_t ansn = 0;
+    TimePoint expires{};
+  };
+
+  net::Address self() const { return host_.manet_address(); }
+  TimePoint now() const { return host_.sim().now(); }
+
+  void send_hello();
+  void send_tc();
+  void transmit(olsr::Message message);
+  void on_packet(const net::Datagram& d, const net::RxInfo& rx);
+  void process_hello(const olsr::Message& m, net::Address from);
+  void process_tc(const olsr::Message& m);
+  void maybe_forward(const olsr::Message& m, net::Address prev_hop);
+
+  void select_mprs();
+  void schedule_route_calc();
+  void calculate_routes();
+  void expire_state();
+
+  bool is_symmetric(net::Address n) const {
+    const auto it = links_.find(n);
+    return it != links_.end() && it->second.sym_until > now();
+  }
+
+  net::Host& host_;
+  OlsrConfig config_;
+  Logger log_;
+  RoutingHandler* handler_ = nullptr;
+  bool running_ = false;
+
+  std::uint16_t pkt_seq_ = 0;
+  std::uint16_t msg_seq_ = 0;
+  std::uint16_t ansn_ = 0;
+
+  std::unordered_map<net::Address, LinkInfo> links_;
+  // neighbor -> its symmetric neighbors (from HELLO) = two-hop candidates.
+  std::unordered_map<net::Address, std::set<net::Address>> two_hop_;
+  std::set<net::Address> mprs_;       // we relay through these
+  std::set<net::Address> selectors_;  // these relay through us
+  std::vector<TopologyEdge> topology_;
+  std::set<std::pair<net::Address, std::uint16_t>> duplicates_;
+  std::map<std::pair<net::Address, std::uint16_t>, TimePoint> duplicate_ttl_;
+
+  std::set<net::Address> installed_routes_;
+  sim::PeriodicTimer hello_timer_;
+  sim::PeriodicTimer tc_timer_;
+  sim::PeriodicTimer housekeeping_timer_;
+  sim::EventHandle route_calc_;
+  bool route_calc_pending_ = false;
+  RoutingStats stats_;
+};
+
+}  // namespace siphoc::routing

@@ -1,0 +1,39 @@
+#include "rtp/jitter_buffer.hpp"
+
+namespace siphoc::rtp {
+
+bool JitterBuffer::insert(const RtpPacket& packet, TimePoint arrival,
+                          TimePoint sent) {
+  const TimePoint playout = sent + playout_delay_;
+  if (arrival > playout) {
+    ++late_drops_;
+    return false;
+  }
+  if (queue_.contains(packet.sequence)) {
+    ++duplicate_drops_;
+    return false;
+  }
+  // A frame older than the most recently played one is also too late.
+  if (last_played_seq_ &&
+      static_cast<std::int16_t>(packet.sequence - *last_played_seq_) <= 0) {
+    ++late_drops_;
+    return false;
+  }
+  queue_[packet.sequence] = Slot{packet, playout};
+  return true;
+}
+
+std::optional<RtpPacket> JitterBuffer::pop_due(TimePoint now) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.playout <= now) {
+      RtpPacket packet = std::move(it->second.packet);
+      last_played_seq_ = packet.sequence;
+      queue_.erase(it);
+      ++played_;
+      return packet;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace siphoc::rtp

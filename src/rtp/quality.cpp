@@ -1,0 +1,100 @@
+#include "rtp/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace siphoc::rtp {
+
+void ReceiverStats::on_packet(const RtpPacket& packet, TimePoint arrival,
+                              TimePoint sent) {
+  const Duration transit = arrival - sent;
+  if (first_) {
+    first_ = false;
+    first_seq_ = packet.sequence;
+    highest_seq_ = packet.sequence;
+    last_transit_ = transit;
+  } else {
+    // Track the extended highest sequence with wraparound (RFC A.1).
+    const auto delta =
+        static_cast<std::int16_t>(packet.sequence - highest_seq_);
+    if (delta > 0) {
+      if (packet.sequence < highest_seq_) ++seq_cycles_;
+      highest_seq_ = packet.sequence;
+    }
+    // Interarrival jitter (RFC 6.4.1): J += (|D| - J) / 16.
+    const double d = std::abs(
+        std::chrono::duration<double, std::micro>(transit - last_transit_)
+            .count());
+    jitter_us_ += (d - jitter_us_) / 16.0;
+    last_transit_ = transit;
+  }
+  ++received_;
+  total_delay_ += transit;
+  max_delay_ = std::max(max_delay_, transit);
+}
+
+std::uint64_t ReceiverStats::expected() const {
+  if (received_ == 0) return 0;
+  const std::uint64_t extended =
+      (static_cast<std::uint64_t>(seq_cycles_) << 16) | highest_seq_;
+  return extended - first_seq_ + 1;
+}
+
+std::uint64_t ReceiverStats::lost() const {
+  const auto exp = expected();
+  return exp > received_ ? exp - received_ : 0;
+}
+
+double ReceiverStats::loss_fraction() const {
+  const auto exp = expected();
+  return exp == 0 ? 0.0 : static_cast<double>(lost()) / static_cast<double>(exp);
+}
+
+std::uint8_t ReceiverStats::take_interval_fraction_lost() {
+  const std::uint64_t expected_now = expected();
+  const std::uint64_t expected_interval = expected_now - expected_prior_;
+  const std::uint64_t received_interval = received_ - received_prior_;
+  expected_prior_ = expected_now;
+  received_prior_ = received_;
+  if (expected_interval == 0 || received_interval >= expected_interval) {
+    return 0;
+  }
+  const std::uint64_t lost_interval = expected_interval - received_interval;
+  return static_cast<std::uint8_t>((lost_interval << 8) / expected_interval);
+}
+
+std::uint32_t ReceiverStats::extended_highest_seq() const {
+  return (seq_cycles_ << 16) | highest_seq_;
+}
+
+double ReceiverStats::mean_delay_ms() const {
+  if (received_ == 0) return 0;
+  return to_millis(total_delay_) / static_cast<double>(received_);
+}
+
+QualityScore score_call(const QualityInput& input) {
+  // G.107 default-parameter simplification: R = Ro - Id - Ie,eff with
+  // Ro - (Is and friends) folded into the 93.2 constant.
+  const double d = input.one_way_delay_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+
+  // G.711 without packet loss concealment: Ie = 0, Bpl = 25.1.
+  const double ppl = std::clamp(input.loss_percent, 0.0, 100.0);
+  const double ie_eff = 0.0 + (95.0 - 0.0) * ppl / (ppl + 25.1);
+
+  QualityScore score;
+  score.r_factor = std::clamp(93.2 - id - ie_eff, 0.0, 100.0);
+  const double r = score.r_factor;
+  if (r <= 0) {
+    score.mos = 1.0;
+  } else if (r >= 100) {
+    score.mos = 4.5;
+  } else {
+    score.mos = 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+  }
+  score.mos = std::clamp(score.mos, 1.0, 4.5);
+  return score;
+}
+
+}  // namespace siphoc::rtp

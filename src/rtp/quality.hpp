@@ -1,0 +1,69 @@
+// Voice quality assessment: RFC 3550 receiver statistics and the ITU-T
+// G.107 E-model mapped to a MOS score.
+//
+// The paper demos calls but never quantifies audio quality; bench E6 uses
+// this to report what a listener would experience over 1..N wireless hops
+// (the substitute for "we talked on iPAQs and it worked").
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "rtp/rtp.hpp"
+
+namespace siphoc::rtp {
+
+/// Interarrival jitter and loss bookkeeping per RFC 3550 6.4 / A.8.
+class ReceiverStats {
+ public:
+  void on_packet(const RtpPacket& packet, TimePoint arrival, TimePoint sent);
+
+  std::uint64_t received() const { return received_; }
+  /// Expected = highest seq - first seq + 1 (RFC A.3).
+  std::uint64_t expected() const;
+  std::uint64_t lost() const;
+  double loss_fraction() const;
+  /// Smoothed interarrival jitter (RFC 6.4.1), in milliseconds.
+  double jitter_ms() const { return jitter_us_ / 1000.0; }
+  double mean_delay_ms() const;
+  double max_delay_ms() const { return to_millis(max_delay_); }
+
+  /// RFC 3550 A.3: fraction (/256) of packets lost since the previous call
+  /// (RTCP report interval accounting); resets the interval window.
+  std::uint8_t take_interval_fraction_lost();
+  std::uint32_t extended_highest_seq() const;
+  /// Jitter in RTP timestamp units (8 kHz clock) for RTCP report blocks.
+  std::uint32_t jitter_rtp_units() const {
+    return static_cast<std::uint32_t>(jitter_us_ * 8.0 / 1000.0);
+  }
+
+ private:
+  bool first_ = true;
+  std::uint16_t first_seq_ = 0;
+  std::uint16_t highest_seq_ = 0;
+  std::uint32_t seq_cycles_ = 0;
+  std::uint64_t received_ = 0;
+  double jitter_us_ = 0;
+  Duration last_transit_{};
+  Duration total_delay_{};
+  Duration max_delay_{};
+  std::uint64_t expected_prior_ = 0;
+  std::uint64_t received_prior_ = 0;
+};
+
+/// E-model inputs: end-to-end (mouth-to-ear) delay and effective packet
+/// loss after the jitter buffer.
+struct QualityInput {
+  double one_way_delay_ms = 0;
+  double loss_percent = 0;  // network loss + late drops
+};
+
+struct QualityScore {
+  double r_factor = 0;  // 0..100
+  double mos = 1.0;     // 1..4.5
+};
+
+/// Simplified G.107 for G.711 without PLC (Ie=0, Bpl=25.1).
+QualityScore score_call(const QualityInput& input);
+
+}  // namespace siphoc::rtp

@@ -1,0 +1,95 @@
+#include "rtp/rtcp.hpp"
+
+namespace siphoc::rtp {
+
+namespace {
+constexpr std::uint8_t kTypeSenderReport = 200;    // RFC 3550 PT values
+constexpr std::uint8_t kTypeReceiverReport = 201;
+}  // namespace
+
+Bytes RtcpPacket::encode() const {
+  Bytes out;
+  BufferWriter w(out);
+  // V=2, P=0, RC = report count.
+  w.u8(static_cast<std::uint8_t>(0x80 | (reports.size() & 0x1f)));
+  w.u8(is_sender_report ? kTypeSenderReport : kTypeReceiverReport);
+  w.u16(0);  // length placeholder (unused by this decoder; kept for shape)
+  w.u32(sender_ssrc);
+  if (is_sender_report) {
+    w.u64(sender_info.ntp_time);
+    w.u32(sender_info.rtp_timestamp);
+    w.u32(sender_info.packet_count);
+    w.u32(sender_info.octet_count);
+  }
+  for (const auto& r : reports) {
+    w.u32(r.ssrc);
+    w.u8(r.fraction_lost);
+    // 24-bit cumulative loss.
+    w.u8(static_cast<std::uint8_t>((r.cumulative_lost >> 16) & 0xff));
+    w.u16(static_cast<std::uint16_t>(r.cumulative_lost & 0xffff));
+    w.u32(r.highest_seq);
+    w.u32(r.jitter);
+  }
+  return out;
+}
+
+Result<RtcpPacket> RtcpPacket::decode(std::span<const std::uint8_t> data) {
+  BufferReader r(data);
+  RtcpPacket p;
+  auto vprc = r.u8();
+  if (!vprc) return vprc.error();
+  if ((*vprc >> 6) != 2) return fail("rtcp: bad version");
+  const int count = *vprc & 0x1f;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (*type == kTypeSenderReport) {
+    p.is_sender_report = true;
+  } else if (*type == kTypeReceiverReport) {
+    p.is_sender_report = false;
+  } else {
+    return fail("rtcp: unsupported packet type " + std::to_string(*type));
+  }
+  if (auto len = r.u16(); !len) return len.error();
+  auto ssrc = r.u32();
+  if (!ssrc) return ssrc.error();
+  p.sender_ssrc = *ssrc;
+  if (p.is_sender_report) {
+    auto ntp = r.u64();
+    if (!ntp) return ntp.error();
+    p.sender_info.ntp_time = *ntp;
+    auto ts = r.u32();
+    if (!ts) return ts.error();
+    p.sender_info.rtp_timestamp = *ts;
+    auto pc = r.u32();
+    if (!pc) return pc.error();
+    p.sender_info.packet_count = *pc;
+    auto oc = r.u32();
+    if (!oc) return oc.error();
+    p.sender_info.octet_count = *oc;
+  }
+  for (int i = 0; i < count; ++i) {
+    ReportBlock block;
+    auto ssrc2 = r.u32();
+    if (!ssrc2) return ssrc2.error();
+    block.ssrc = *ssrc2;
+    auto frac = r.u8();
+    if (!frac) return frac.error();
+    block.fraction_lost = *frac;
+    auto hi = r.u8();
+    if (!hi) return hi.error();
+    auto lo = r.u16();
+    if (!lo) return lo.error();
+    block.cumulative_lost =
+        (static_cast<std::uint32_t>(*hi) << 16) | *lo;
+    auto seq = r.u32();
+    if (!seq) return seq.error();
+    block.highest_seq = *seq;
+    auto jitter = r.u32();
+    if (!jitter) return jitter.error();
+    block.jitter = *jitter;
+    p.reports.push_back(block);
+  }
+  return p;
+}
+
+}  // namespace siphoc::rtp

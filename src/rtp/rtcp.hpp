@@ -1,0 +1,53 @@
+// RTCP (RFC 3550 section 6, SR/RR subset).
+//
+// Each voice session periodically sends a Sender Report (if it sent media
+// since the last report) or Receiver Report, carrying one report block per
+// received stream: fraction lost, cumulative loss, extended highest
+// sequence, interarrival jitter. This gives each phone the *far-end* view
+// of its own stream -- what the listener is actually experiencing -- which
+// the session exposes alongside its local receive statistics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+
+namespace siphoc::rtp {
+
+inline constexpr Duration kRtcpInterval = seconds(5);
+
+struct ReportBlock {
+  std::uint32_t ssrc = 0;           // stream being reported on
+  std::uint8_t fraction_lost = 0;   // fixed point /256 since last report
+  std::uint32_t cumulative_lost = 0;
+  std::uint32_t highest_seq = 0;    // extended highest sequence received
+  std::uint32_t jitter = 0;         // in RTP timestamp units
+};
+
+struct SenderInfo {
+  std::uint64_t ntp_time = 0;  // virtual microseconds in this emulation
+  std::uint32_t rtp_timestamp = 0;
+  std::uint32_t packet_count = 0;
+  std::uint32_t octet_count = 0;
+};
+
+/// One RTCP packet: SR (with sender info) or RR.
+struct RtcpPacket {
+  bool is_sender_report = false;
+  std::uint32_t sender_ssrc = 0;
+  SenderInfo sender_info;  // valid when is_sender_report
+  std::vector<ReportBlock> reports;
+
+  Bytes encode() const;
+  static Result<RtcpPacket> decode(std::span<const std::uint8_t> data);
+};
+
+/// Converts RFC 3550 fraction_lost (/256) to percent.
+inline double fraction_lost_percent(std::uint8_t fraction) {
+  return 100.0 * static_cast<double>(fraction) / 256.0;
+}
+
+}  // namespace siphoc::rtp

@@ -1,0 +1,69 @@
+#include "rtp/rtp.hpp"
+
+namespace siphoc::rtp {
+
+Bytes RtpPacket::encode() const {
+  Bytes out;
+  BufferWriter w(out);
+  // V=2, P=0, X=0, CC=0.
+  w.u8(0x80);
+  w.u8(static_cast<std::uint8_t>((marker ? 0x80 : 0x00) |
+                                 (payload_type & 0x7f)));
+  w.u16(sequence);
+  w.u32(timestamp);
+  w.u32(ssrc);
+  w.raw(payload);
+  return out;
+}
+
+Result<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> data) {
+  BufferReader r(data);
+  RtpPacket p;
+  auto vpxcc = r.u8();
+  if (!vpxcc) return vpxcc.error();
+  if ((*vpxcc >> 6) != 2) return fail("rtp: bad version");
+  auto mpt = r.u8();
+  if (!mpt) return mpt.error();
+  p.marker = (*mpt & 0x80) != 0;
+  p.payload_type = *mpt & 0x7f;
+  auto seq = r.u16();
+  if (!seq) return seq.error();
+  p.sequence = *seq;
+  auto ts = r.u32();
+  if (!ts) return ts.error();
+  p.timestamp = *ts;
+  auto ssrc = r.u32();
+  if (!ssrc) return ssrc.error();
+  p.ssrc = *ssrc;
+  auto payload = r.raw(r.remaining());
+  if (!payload) return payload.error();
+  p.payload = std::move(*payload);
+  return p;
+}
+
+RtpPacket make_voice_packet(std::uint16_t sequence, std::uint32_t timestamp,
+                            std::uint32_t ssrc, bool marker, TimePoint sent) {
+  RtpPacket p;
+  p.sequence = sequence;
+  p.timestamp = timestamp;
+  p.ssrc = ssrc;
+  p.marker = marker;
+  p.payload.resize(kPcmuFrameBytes, 0xd5);  // u-law silence pattern
+  BufferWriter w(p.payload);
+  // Overwrite the first 8 bytes in place via a scratch buffer.
+  Bytes stamp;
+  BufferWriter sw(stamp);
+  sw.u64(static_cast<std::uint64_t>(sent.time_since_epoch().count()));
+  std::copy(stamp.begin(), stamp.end(), p.payload.begin());
+  return p;
+}
+
+Result<TimePoint> voice_packet_sent_time(const RtpPacket& packet) {
+  if (packet.payload.size() < 8) return fail("rtp: payload too short");
+  BufferReader r(packet.payload);
+  auto value = r.u64();
+  if (!value) return value.error();
+  return TimePoint{} + microseconds(static_cast<std::int64_t>(*value));
+}
+
+}  // namespace siphoc::rtp

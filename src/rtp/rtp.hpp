@@ -1,0 +1,40 @@
+// RTP packet format (RFC 3550, fixed header, no CSRC/extensions).
+//
+// Voice frames travel as real RTP packets over the emulated MANET so the
+// voice-quality bench (E6) measures genuine per-packet loss, reordering and
+// jitter as produced by multihop forwarding, route breaks and repairs.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+
+namespace siphoc::rtp {
+
+inline constexpr std::uint8_t kPayloadPcmu = 0;  // G.711 u-law
+inline constexpr std::size_t kPcmuFrameBytes = 160;  // 20 ms @ 8 kHz
+inline constexpr Duration kFrameInterval = milliseconds(20);
+inline constexpr std::uint32_t kTimestampPerFrame = 160;  // 8 kHz clock
+
+struct RtpPacket {
+  std::uint8_t payload_type = kPayloadPcmu;
+  bool marker = false;  // set on the first packet of a talk spurt
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;  // media clock (8 kHz for PCMU)
+  std::uint32_t ssrc = 0;
+  Bytes payload;
+
+  Bytes encode() const;
+  static Result<RtpPacket> decode(std::span<const std::uint8_t> data);
+
+  std::size_t wire_size() const { return 12 + payload.size(); }
+};
+
+/// The emulation embeds the virtual send time in the first 8 payload bytes
+/// (the rest is synthetic audio), giving the receiver exact one-way delay
+/// -- the testbed equivalent of NTP-synchronized hosts.
+RtpPacket make_voice_packet(std::uint16_t sequence, std::uint32_t timestamp,
+                            std::uint32_t ssrc, bool marker, TimePoint sent);
+Result<TimePoint> voice_packet_sent_time(const RtpPacket& packet);
+
+}  // namespace siphoc::rtp

@@ -1,0 +1,188 @@
+#include "scenario/scenario.hpp"
+
+namespace siphoc::scenario {
+
+Testbed::Testbed(Options options) : options_(std::move(options)) {
+  sim_ = std::make_unique<sim::Simulator>(options_.seed);
+  medium_ = std::make_unique<net::RadioMedium>(*sim_, options_.radio);
+  internet_ =
+      std::make_unique<net::Internet>(*sim_, options_.internet_latency);
+
+  std::vector<net::Position> positions;
+  switch (options_.topology) {
+    case Topology::kChain:
+      positions = net::chain_positions(options_.nodes, options_.spacing);
+      break;
+    case Topology::kGrid:
+      positions = net::grid_positions(options_.nodes, options_.spacing);
+      break;
+    case Topology::kRandomArea: {
+      Rng placement(options_.seed ^ 0x9e3779b97f4a7c15ull);
+      for (std::size_t i = 0; i < options_.nodes; ++i) {
+        positions.push_back({placement.uniform(0, options_.area),
+                             placement.uniform(0, options_.area)});
+      }
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    auto host = std::make_unique<net::Host>(
+        *sim_, static_cast<net::NodeId>(i), "n" + std::to_string(i));
+    std::shared_ptr<net::MobilityModel> mobility;
+    if (options_.mobile) {
+      mobility = std::make_shared<net::RandomWaypointMobility>(
+          positions[i], options_.waypoint, sim_->rng().fork());
+    } else {
+      mobility = std::make_shared<net::StaticMobility>(positions[i]);
+    }
+    host->attach_radio(*medium_, manet_address(i), std::move(mobility));
+
+    NodeStackConfig stack_config = options_.stack;
+    stack_config.routing = options_.routing;
+    stacks_.push_back(std::make_unique<NodeStack>(*host, internet_.get(),
+                                                  stack_config));
+    hosts_.push_back(std::move(host));
+  }
+}
+
+Testbed::~Testbed() {
+  // Stop middleware before hosts/medium go away.
+  for (auto& stack : stacks_) stack->stop();
+}
+
+void Testbed::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& stack : stacks_) stack->start();
+}
+
+voip::SoftPhone& Testbed::add_phone(std::size_t node,
+                                    const std::string& username,
+                                    const std::string& domain) {
+  voip::SoftPhoneConfig config;
+  config.username = username;
+  config.domain = domain;
+  return add_phone(node, std::move(config));
+}
+
+voip::SoftPhone& Testbed::add_phone(std::size_t node,
+                                    voip::SoftPhoneConfig config) {
+  phones_.push_back(
+      std::make_unique<voip::SoftPhone>(host(node), std::move(config)));
+  return *phones_.back();
+}
+
+bool Testbed::register_and_wait(voip::SoftPhone& phone, Duration max_wait) {
+  struct Outcome {
+    bool done = false;
+    bool ok = false;
+  };
+  auto outcome = std::make_shared<Outcome>();
+  // Wrap (not replace) the application's handlers; restore them after.
+  const voip::SoftPhoneEvents saved = phone.events();
+  voip::SoftPhoneEvents events = saved;
+  events.on_registered = [outcome, chained = saved.on_registered](bool ok,
+                                                                  int status) {
+    outcome->done = true;
+    outcome->ok = ok;
+    if (chained) chained(ok, status);
+  };
+  phone.set_events(std::move(events));
+  phone.power_on();
+  const TimePoint deadline = sim_->now() + max_wait;
+  while (!outcome->done && sim_->now() < deadline) {
+    sim_->run_for(milliseconds(10));
+  }
+  phone.set_events(saved);
+  return outcome->ok;
+}
+
+Testbed::CallResult Testbed::call_and_wait(voip::SoftPhone& caller,
+                                           const std::string& target,
+                                           Duration max_wait) {
+  struct Outcome {
+    bool done = false;
+    bool established = false;
+    int status = 0;
+  };
+  auto outcome = std::make_shared<Outcome>();
+  const voip::SoftPhoneEvents saved = caller.events();
+  voip::SoftPhoneEvents events = saved;
+  events.on_established = [outcome,
+                           chained = saved.on_established](sip::CallId id) {
+    outcome->done = true;
+    outcome->established = true;
+    if (chained) chained(id);
+  };
+  events.on_failed = [outcome, chained = saved.on_failed](sip::CallId id,
+                                                          int status) {
+    outcome->done = true;
+    outcome->status = status;
+    if (chained) chained(id, status);
+  };
+  caller.set_events(std::move(events));
+
+  CallResult result;
+  const TimePoint started = sim_->now();
+  result.call = caller.dial(target);
+  const TimePoint deadline = started + max_wait;
+  while (!outcome->done && sim_->now() < deadline) {
+    sim_->run_for(milliseconds(1));
+  }
+  caller.set_events(saved);
+  result.established = outcome->established;
+  result.setup_time = sim_->now() - started;
+  result.failure_status = outcome->done ? outcome->status : 408;
+  return result;
+}
+
+void Testbed::make_gateway(std::size_t node) {
+  const net::Address wired{net::kInternetPrefix.value() + 100 +
+                           static_cast<std::uint32_t>(node)};
+  host(node).attach_wired(*internet_, wired);
+}
+
+sip::Registrar& Testbed::add_provider(const std::string& domain,
+                                      bool require_outbound_proxy) {
+  net::Host& server = add_internet_host("provider-" + domain);
+  sip::RegistrarConfig config;
+  config.domain = domain;
+  config.require_outbound_proxy = require_outbound_proxy;
+  if (require_outbound_proxy) {
+    // The provider's own outbound proxy is a real box at an address DNS
+    // does not reveal -- the polyphone.ethz.ch situation. Clients (or a
+    // provisioned SIPHoc proxy) must relay through it.
+    net::Host& proxy_host = add_internet_host("obproxy-" + domain);
+    config.trusted_proxy = proxy_host.wired_address();
+    sip::OutboundProxyConfig ob;
+    ob.next_hop = {server.wired_address(), 5060};
+    provider_proxies_.push_back(
+        std::make_unique<sip::OutboundProxy>(proxy_host, ob));
+    provider_proxy_endpoints_[domain] = {proxy_host.wired_address(), 5060};
+  }
+  internet_->register_domain(domain, server.wired_address());
+  providers_.push_back(
+      std::make_unique<sip::Registrar>(server, std::move(config)));
+  return *providers_.back();
+}
+
+std::optional<net::Endpoint> Testbed::provider_outbound_proxy(
+    const std::string& domain) const {
+  const auto it = provider_proxy_endpoints_.find(domain);
+  if (it == provider_proxy_endpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+net::Host& Testbed::add_internet_host(const std::string& name) {
+  const net::Address address{net::kInternetPrefix.value() +
+                             next_internet_octet_++};
+  auto host = std::make_unique<net::Host>(
+      *sim_,
+      static_cast<net::NodeId>(1000 + internet_hosts_.size()), name);
+  host->attach_wired(*internet_, address);
+  internet_hosts_.push_back(std::move(host));
+  return *internet_hosts_.back();
+}
+
+}  // namespace siphoc::scenario

@@ -1,0 +1,127 @@
+// Testbed builder: programmatic construction of complete SIPHoc deployments.
+//
+// This is the emulation counterpart of the paper's physical testbed ("about
+// 10 laptops and a bunch of handhelds. Some of the devices are separated by
+// firewalls to enforce multihop communication", section 4): it wires the
+// simulator, radio medium, Internet segment, per-node hosts, SIPHoc stacks,
+// softphones, SIP providers and gateways, and provides blocking-style
+// helpers ("place a call, wait for it to establish") that tests, examples
+// and benchmarks all share.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "siphoc/node_stack.hpp"
+#include "sip/outbound_proxy.hpp"
+#include "sip/registrar.hpp"
+#include "voip/softphone.hpp"
+
+namespace siphoc::scenario {
+
+enum class Topology { kChain, kGrid, kRandomArea };
+
+struct Options {
+  std::uint64_t seed = 42;
+  std::size_t nodes = 2;
+  Topology topology = Topology::kChain;
+  double spacing = 100;  // metres between chain/grid neighbors
+  double area = 500;     // random-area side length
+  net::RadioConfig radio;
+  RoutingKind routing = RoutingKind::kAodv;
+  bool mobile = false;
+  net::RandomWaypointConfig waypoint;
+  NodeStackConfig stack;  // template; its routing field is overridden
+  Duration internet_latency = milliseconds(20);
+};
+
+class Testbed {
+ public:
+  explicit Testbed(Options options);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& sim() { return *sim_; }
+  net::RadioMedium& medium() { return *medium_; }
+  net::Internet& internet() { return *internet_; }
+  std::size_t size() const { return hosts_.size(); }
+  net::Host& host(std::size_t i) { return *hosts_.at(i); }
+  NodeStack& stack(std::size_t i) { return *stacks_.at(i); }
+
+  /// MANET address assignment convention: node i owns 10.0.0.(i+1).
+  static net::Address manet_address(std::size_t i) {
+    return net::Address{net::kManetPrefix.value() +
+                        static_cast<std::uint32_t>(i + 1)};
+  }
+
+  /// Starts every node's middleware stack.
+  void start();
+  void run_for(Duration d) { sim_->run_for(d); }
+
+  /// Lets routing (and proactive SLP) converge before the workload starts.
+  void settle(Duration d = seconds(5)) { run_for(d); }
+
+  // --- application layer --------------------------------------------------
+  /// Creates a softphone on a node, configured exactly as the paper's
+  /// Figure 2: account user@domain, outbound proxy localhost.
+  voip::SoftPhone& add_phone(std::size_t node, const std::string& username,
+                             const std::string& domain = "voicehoc.ch");
+  voip::SoftPhone& add_phone(std::size_t node, voip::SoftPhoneConfig config);
+  voip::SoftPhone& phone(std::size_t index) { return *phones_.at(index); }
+
+  /// Registers a phone and waits for the result (local 200 in an isolated
+  /// MANET, or the provider's verdict when Internet-connected).
+  bool register_and_wait(voip::SoftPhone& phone,
+                         Duration max_wait = seconds(10));
+
+  struct CallResult {
+    bool established = false;
+    Duration setup_time{};
+    sip::CallId call = 0;
+    int failure_status = 0;  // 408 on timeout
+  };
+  /// Dials and runs the simulation until the call establishes or fails.
+  CallResult call_and_wait(voip::SoftPhone& caller, const std::string& target,
+                           Duration max_wait = seconds(15));
+
+  // --- Internet side -------------------------------------------------------
+  /// Attaches a wired uplink to a MANET node, making it a gateway candidate
+  /// (its Gateway Provider will start serving within one advertise period).
+  void make_gateway(std::size_t node);
+
+  /// Spawns a SIP provider (registrar + domain proxy) on the Internet
+  /// segment and registers its domain in DNS. With
+  /// `require_outbound_proxy`, the provider only accepts requests relayed
+  /// through its own outbound proxy (spawned alongside) -- the
+  /// polyphone.ethz.ch situation of paper §3.2.
+  sip::Registrar& add_provider(const std::string& domain,
+                               bool require_outbound_proxy = false);
+
+  /// The endpoint of a provider's dedicated outbound proxy (only for
+  /// providers created with require_outbound_proxy). Feed this into
+  /// ProxyConfig::provider_outbound_proxies to exercise the open-issue fix.
+  std::optional<net::Endpoint> provider_outbound_proxy(
+      const std::string& domain) const;
+
+  /// A plain Internet host (for Internet-side softphones).
+  net::Host& add_internet_host(const std::string& name);
+
+ private:
+  Options options_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::RadioMedium> medium_;
+  std::unique_ptr<net::Internet> internet_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+  std::vector<std::unique_ptr<voip::SoftPhone>> phones_;
+  std::vector<std::unique_ptr<net::Host>> internet_hosts_;
+  std::vector<std::unique_ptr<sip::Registrar>> providers_;
+  std::vector<std::unique_ptr<sip::OutboundProxy>> provider_proxies_;
+  std::map<std::string, net::Endpoint> provider_proxy_endpoints_;
+  std::uint32_t next_internet_octet_ = 10;
+  bool started_ = false;
+};
+
+}  // namespace siphoc::scenario

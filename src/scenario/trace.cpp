@@ -1,0 +1,130 @@
+#include "scenario/trace.hpp"
+
+#include "routing/aodv_codec.hpp"
+#include "routing/olsr_codec.hpp"
+#include "rtp/rtp.hpp"
+#include "slp/service.hpp"
+
+namespace siphoc::scenario {
+
+TraceRecorder::TraceRecorder(net::RadioMedium& medium, std::size_t capacity)
+    : medium_(medium), capacity_(capacity) {
+  medium_.set_tap([this](const net::Frame& f, TimePoint t) {
+    on_frame(f, t);
+  });
+}
+
+TraceRecorder::~TraceRecorder() { medium_.set_tap(nullptr); }
+
+void TraceRecorder::on_frame(const net::Frame& frame, TimePoint t) {
+  if (filter_ && !filter_(frame)) {
+    ++dropped_;
+    return;
+  }
+  ++captured_;
+  entries_.push_back({t, frame, net::RadioMedium::classify(frame.datagram)});
+  if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+namespace {
+
+std::string decode_payload(const TraceRecorder::Entry& e) {
+  const Bytes& payload = e.frame.datagram.payload;
+  switch (e.traffic_class) {
+    case net::TrafficClass::kRouting: {
+      if (e.frame.datagram.dst_port == net::kAodvPort) {
+        auto decoded = routing::aodv::decode(payload);
+        if (!decoded) return "AODV <malformed>";
+        std::string out = routing::aodv::describe(decoded->message);
+        if (!decoded->extension.empty()) {
+          out += " +ext[" + std::to_string(decoded->extension.size()) + "B";
+          if (auto block = slp::decode_extension(decoded->extension, e.time)) {
+            for (const auto& a : block->advertisements) {
+              out += " adv:" + a.type + ":" + a.key;
+            }
+            for (const auto& q : block->queries) {
+              out += " rqst:" + q.type + ":" + q.key;
+            }
+            for (const auto& rep : block->replies) {
+              for (const auto& entry : rep.entries) {
+                out += " rply:" + entry.type + ":" + entry.key;
+              }
+            }
+          }
+          out += "]";
+        }
+        return "AODV " + out;
+      }
+      auto decoded = routing::olsr::decode(payload);
+      if (!decoded) return "OLSR <malformed>";
+      std::string out = "OLSR";
+      for (const auto& m : decoded->messages) {
+        out += " " + routing::olsr::describe(m);
+        if (!m.extension.empty()) {
+          out += " +ext[" + std::to_string(m.extension.size()) + "B]";
+        }
+      }
+      return out;
+    }
+    case net::TrafficClass::kSip: {
+      const std::string text = to_string(payload);
+      const auto eol = text.find("\r\n");
+      return "SIP " + text.substr(0, eol == std::string::npos ? text.size()
+                                                              : eol);
+    }
+    case net::TrafficClass::kRtp: {
+      auto packet = rtp::RtpPacket::decode(payload);
+      if (!packet) return "RTP <malformed>";
+      return "RTP ssrc=" + std::to_string(packet->ssrc) +
+             " seq=" + std::to_string(packet->sequence) +
+             " ts=" + std::to_string(packet->timestamp) +
+             (packet->marker ? " [talk-spurt]" : "");
+    }
+    case net::TrafficClass::kTunnel: {
+      if (payload.empty()) return "TUNNEL <empty>";
+      static const char* names[] = {"?",         "CONNECT", "ACCEPT",
+                                    "DATA",      "KEEPALIVE", "KEEPALIVE-ACK",
+                                    "DISCONNECT"};
+      const unsigned type = payload[0];
+      return std::string("TUNNEL ") + (type <= 6 ? names[type] : "?");
+    }
+    case net::TrafficClass::kSlp:
+      return "SLP (multicast baseline)";
+    case net::TrafficClass::kOther:
+      break;
+  }
+  return "UDP :" + std::to_string(e.frame.datagram.dst_port);
+}
+
+}  // namespace
+
+std::string TraceRecorder::format(const Entry& e) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "%-12s n%-3u -> %-5s %4zuB  ",
+                format_time(e.time).c_str(), e.frame.src_mac,
+                e.frame.dst_mac == net::kBroadcastMac
+                    ? "*"
+                    : ("n" + std::to_string(e.frame.dst_mac)).c_str(),
+                e.frame.wire_size());
+  return head + decode_payload(e);
+}
+
+std::string TraceRecorder::dump() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += format(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TraceRecorder::Entry> TraceRecorder::grep(
+    const std::string& needle) const {
+  std::vector<Entry> out;
+  for (const auto& e : entries_) {
+    if (format(e).find(needle) != std::string::npos) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace siphoc::scenario

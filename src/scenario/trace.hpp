@@ -1,0 +1,61 @@
+// TraceRecorder: the testbed's packet analyzer (the role Wireshark plays
+// in the paper's Figure 5).
+//
+// Attaches to the radio medium's tap, keeps a bounded ring of captured
+// frames, and renders them as tcpdump-style one-liners with protocol-aware
+// decoding: SIP start lines, AODV/OLSR message summaries (including
+// piggybacked SLP records), RTP sequence/timestamp, tunnel message types.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/medium.hpp"
+
+namespace siphoc::scenario {
+
+class TraceRecorder {
+ public:
+  struct Entry {
+    TimePoint time{};
+    net::Frame frame;
+    net::TrafficClass traffic_class{};
+  };
+
+  /// Installs itself as the medium's tap (replacing any previous tap).
+  explicit TraceRecorder(net::RadioMedium& medium,
+                         std::size_t capacity = 4096);
+  ~TraceRecorder();
+
+  /// Optional capture filter; return false to skip a frame.
+  void set_filter(std::function<bool(const net::Frame&)> filter) {
+    filter_ = std::move(filter);
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::size_t captured() const { return captured_; }  // incl. evicted
+  std::size_t dropped_by_filter() const { return dropped_; }
+  void clear() { entries_.clear(); }
+
+  /// One-line rendering: "12.0345s  n0 -> n1  SIP 498B  INVITE sip:bob@...".
+  static std::string format(const Entry& entry);
+
+  /// Whole capture as text.
+  std::string dump() const;
+
+  /// Entries whose rendered line contains `needle` (grep over the capture).
+  std::vector<Entry> grep(const std::string& needle) const;
+
+ private:
+  void on_frame(const net::Frame& frame, TimePoint t);
+
+  net::RadioMedium& medium_;
+  std::size_t capacity_;
+  std::function<bool(const net::Frame&)> filter_;
+  std::deque<Entry> entries_;
+  std::size_t captured_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace siphoc::scenario

@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace siphoc::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  Logging::instance().set_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() { Logging::instance().set_time_source(nullptr); }
+
+EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_);
+  Event ev;
+  ev.when = when;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  ev.cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(ev.cancelled)};
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+bool Simulator::step(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > limit) return false;
+    // Move the event out before executing: the callback may schedule more.
+    Event ev = top;
+    queue_.pop();
+    now_ = ev.when;
+    if (*ev.cancelled) continue;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint until) {
+  while (step(until)) {
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_to_completion() {
+  while (step(TimePoint::max())) {
+  }
+}
+
+void PeriodicTimer::start(Simulator& sim, Duration period,
+                          std::function<void()> fn, Duration jitter) {
+  stop();
+  sim_ = &sim;
+  period_ = period;
+  jitter_ = jitter;
+  fn_ = std::move(fn);
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  handle_.cancel();
+  running_ = false;
+}
+
+void PeriodicTimer::arm() {
+  Duration delay = period_;
+  if (jitter_ > Duration::zero()) {
+    delay += sim_->rng().jitter(-jitter_, jitter_);
+    if (delay < Duration::zero()) delay = Duration::zero();
+  }
+  handle_ = sim_->schedule(delay, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace siphoc::sim

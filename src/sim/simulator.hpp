@@ -1,0 +1,124 @@
+// Discrete-event simulation kernel.
+//
+// This is the substitute for the paper's physical testbed (10 laptops +
+// iPAQ handhelds on 802.11 ad hoc): a single-threaded event loop over
+// virtual time. Everything above it -- radio medium, routing daemons, SIP
+// transactions, RTP streams -- is driven purely by scheduled callbacks, so
+// a whole multihop call setup runs deterministically in microseconds of
+// wall time and can be replayed from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/time.hpp"
+
+namespace siphoc::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. a SIP timer that
+/// is stopped because the response arrived).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the callback from firing. Safe to call multiple times and
+  /// after the event fired.
+  void cancel() {
+    if (auto c = cancelled_.lock()) *c = true;
+  }
+
+  bool pending() const {
+    auto c = cancelled_.lock();
+    return c && !*c;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` from now. Returns a cancellation handle.
+  EventHandle schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules at an absolute virtual time (must not be in the past).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `until` is reached, whichever is
+  /// first. Time advances to `until` even if the queue drains earlier, so
+  /// back-to-back run_until calls observe monotonic time.
+  void run_until(TimePoint until);
+
+  /// Convenience: advance by a relative amount.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until the queue is completely empty (use with care: periodic
+  /// timers never drain).
+  void run_to_completion();
+
+  /// Number of events executed so far (sanity metric for benches).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // FIFO tie-break for same-timestamp events
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool step(TimePoint limit);
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+/// Repeating timer built on the kernel: reschedules itself until stopped.
+/// Optionally jitters each period to avoid synchronized beacons, mirroring
+/// the jitter AODV/OLSR mandate for HELLO emission.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+
+  void start(Simulator& sim, Duration period, std::function<void()> fn,
+             Duration jitter = Duration::zero());
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator* sim_ = nullptr;
+  Duration period_{};
+  Duration jitter_{};
+  std::function<void()> fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace siphoc::sim

@@ -1,0 +1,101 @@
+#include "sip/auth.hpp"
+
+#include "common/md5.hpp"
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+namespace {
+
+/// Parses `Digest k1="v1", k2=v2, ...` into a map; values may be quoted.
+Result<std::map<std::string, std::string>> parse_digest_params(
+    std::string_view header) {
+  header = trim(header);
+  if (!istarts_with(header, "Digest")) return fail("auth: not Digest");
+  header.remove_prefix(6);
+  std::map<std::string, std::string> params;
+  for (const auto& field : split_trimmed(header, ',')) {
+    auto [key, value] = split_kv(field, '=');
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    params[to_lower(key)] = value;
+  }
+  return params;
+}
+
+}  // namespace
+
+Result<DigestChallenge> DigestChallenge::parse(std::string_view header) {
+  auto params = parse_digest_params(header);
+  if (!params) return params.error();
+  DigestChallenge c;
+  c.realm = (*params)["realm"];
+  c.nonce = (*params)["nonce"];
+  if (c.realm.empty() || c.nonce.empty()) {
+    return fail("auth: challenge missing realm/nonce");
+  }
+  return c;
+}
+
+std::string DigestChallenge::to_string() const {
+  return "Digest realm=\"" + realm + "\", nonce=\"" + nonce +
+         "\", algorithm=MD5";
+}
+
+Result<DigestAuthorization> DigestAuthorization::parse(
+    std::string_view header) {
+  auto params = parse_digest_params(header);
+  if (!params) return params.error();
+  DigestAuthorization a;
+  a.username = (*params)["username"];
+  a.realm = (*params)["realm"];
+  a.nonce = (*params)["nonce"];
+  a.uri = (*params)["uri"];
+  a.response = (*params)["response"];
+  if (a.username.empty() || a.nonce.empty() || a.response.empty()) {
+    return fail("auth: authorization missing fields");
+  }
+  return a;
+}
+
+std::string DigestAuthorization::to_string() const {
+  return "Digest username=\"" + username + "\", realm=\"" + realm +
+         "\", nonce=\"" + nonce + "\", uri=\"" + uri + "\", response=\"" +
+         response + "\", algorithm=MD5";
+}
+
+std::string digest_response(const std::string& username,
+                            const std::string& realm,
+                            const std::string& password,
+                            const std::string& nonce,
+                            const std::string& method,
+                            const std::string& uri) {
+  const std::string ha1 = md5_hex(username + ":" + realm + ":" + password);
+  const std::string ha2 = md5_hex(method + ":" + uri);
+  return md5_hex(ha1 + ":" + nonce + ":" + ha2);
+}
+
+DigestAuthorization answer_challenge(const DigestChallenge& challenge,
+                                     const std::string& username,
+                                     const std::string& password,
+                                     const Message& request) {
+  DigestAuthorization a;
+  a.username = username;
+  a.realm = challenge.realm;
+  a.nonce = challenge.nonce;
+  a.uri = request.request_uri().to_string();
+  a.response = digest_response(username, challenge.realm, password,
+                               challenge.nonce, request.method(), a.uri);
+  return a;
+}
+
+bool verify_authorization(const DigestAuthorization& auth,
+                          const std::string& password,
+                          const std::string& method) {
+  const std::string expected = digest_response(
+      auth.username, auth.realm, password, auth.nonce, method, auth.uri);
+  return expected == auth.response;
+}
+
+}  // namespace siphoc::sip

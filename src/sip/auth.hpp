@@ -1,0 +1,58 @@
+// SIP HTTP-Digest authentication (RFC 3261 section 22, RFC 2617 subset:
+// algorithm=MD5, no qop). Providers challenge REGISTER with 401 +
+// WWW-Authenticate; the user agent answers with an Authorization header
+// computed from its password. Everything passes transparently through the
+// SIPHoc proxy chain -- authentication stays end to end between phone and
+// provider, as in the paper's real-provider tests.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "sip/message.hpp"
+
+namespace siphoc::sip {
+
+/// Parsed `WWW-Authenticate: Digest realm="...", nonce="..."`.
+struct DigestChallenge {
+  std::string realm;
+  std::string nonce;
+
+  static Result<DigestChallenge> parse(std::string_view header);
+  std::string to_string() const;
+};
+
+/// Parsed `Authorization: Digest username=..., realm=..., nonce=...,
+/// uri=..., response=...`.
+struct DigestAuthorization {
+  std::string username;
+  std::string realm;
+  std::string nonce;
+  std::string uri;
+  std::string response;
+
+  static Result<DigestAuthorization> parse(std::string_view header);
+  std::string to_string() const;
+};
+
+/// response = MD5(MD5(user:realm:password) : nonce : MD5(method:uri)).
+std::string digest_response(const std::string& username,
+                            const std::string& realm,
+                            const std::string& password,
+                            const std::string& nonce,
+                            const std::string& method,
+                            const std::string& uri);
+
+/// Builds the Authorization header answering `challenge` for `request`.
+DigestAuthorization answer_challenge(const DigestChallenge& challenge,
+                                     const std::string& username,
+                                     const std::string& password,
+                                     const Message& request);
+
+/// Server-side check of an Authorization header against the credential.
+bool verify_authorization(const DigestAuthorization& auth,
+                          const std::string& password,
+                          const std::string& method);
+
+}  // namespace siphoc::sip

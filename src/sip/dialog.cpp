@@ -1,0 +1,83 @@
+#include "sip/dialog.hpp"
+
+namespace siphoc::sip {
+
+Result<Dialog> Dialog::from_uac(const Message& invite, const Message& ok) {
+  Dialog d;
+  d.call_id = invite.call_id();
+  auto from = invite.from();
+  if (!from) return from.error();
+  d.local_tag = from->tag();
+  d.local_uri = from->uri;
+  auto to = ok.to();
+  if (!to) return to.error();
+  d.remote_tag = to->tag();
+  d.remote_uri = to->uri;
+  const auto contact = ok.contact();
+  if (!contact) return fail("dialog: 2xx without Contact");
+  d.remote_target = contact->uri;
+  // RFC 12.1.2: UAC route set = Record-Route of the response, reversed.
+  for (const auto& rr : ok.route_set("record-route")) {
+    d.route_set.insert(d.route_set.begin(), rr.uri);
+  }
+  auto cseq = invite.cseq();
+  if (!cseq) return cseq.error();
+  d.local_cseq = cseq->number;
+  return d;
+}
+
+Result<Dialog> Dialog::from_uas(const Message& invite, const Message& ok) {
+  Dialog d;
+  d.call_id = invite.call_id();
+  auto to = ok.to();
+  if (!to) return to.error();
+  d.local_tag = to->tag();
+  d.local_uri = to->uri;
+  auto from = invite.from();
+  if (!from) return from.error();
+  d.remote_tag = from->tag();
+  d.remote_uri = from->uri;
+  const auto contact = invite.contact();
+  if (!contact) return fail("dialog: INVITE without Contact");
+  d.remote_target = contact->uri;
+  // RFC 12.1.1: UAS route set = Record-Route of the request, in order.
+  for (const auto& rr : invite.route_set("record-route")) {
+    d.route_set.push_back(rr.uri);
+  }
+  auto cseq = invite.cseq();
+  if (!cseq) return cseq.error();
+  d.remote_cseq = cseq->number;
+  d.local_cseq = 0;
+  return d;
+}
+
+Message Dialog::make_request(std::string method) {
+  const bool is_ack = method == kAck;
+  Message m = Message::request(std::move(method), remote_target);
+  NameAddr from;
+  from.uri = local_uri;
+  from.set_tag(local_tag);
+  m.add_header("from", from.to_string());
+  NameAddr to;
+  to.uri = remote_uri;
+  if (!remote_tag.empty()) to.set_tag(remote_tag);
+  m.add_header("to", to.to_string());
+  m.add_header("call-id", call_id);
+  // RFC 13.2.2.4: the ACK for a 2xx uses the INVITE's CSeq number.
+  const std::uint32_t number = is_ack ? local_cseq : ++local_cseq;
+  m.add_header("cseq", std::to_string(number) + " " + m.method());
+  for (const auto& route : route_set) {
+    m.add_header("route", "<" + route.to_string() + ">");
+  }
+  return m;
+}
+
+bool Dialog::matches_request(const Message& request) const {
+  if (request.call_id() != call_id) return false;
+  const auto from = request.from();
+  const auto to = request.to();
+  if (!from || !to) return false;
+  return from->tag() == remote_tag && to->tag() == local_tag;
+}
+
+}  // namespace siphoc::sip

@@ -1,0 +1,42 @@
+// SIP dialog state (RFC 3261 section 12).
+//
+// Built from the INVITE request + 2xx response pair, on both the caller
+// (UAC) and callee (UAS) side. In-dialog requests (BYE, re-INVITE, the ACK
+// for a 2xx) are constructed from this state: request URI = remote target,
+// From/To carry the dialog tags, CSeq increments locally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sip/message.hpp"
+
+namespace siphoc::sip {
+
+struct Dialog {
+  std::string call_id;
+  std::string local_tag;
+  std::string remote_tag;
+  Uri local_uri;      // our From/To identity
+  Uri remote_uri;     // peer identity
+  Uri remote_target;  // peer Contact; where in-dialog requests go
+  std::vector<Uri> route_set;
+  std::uint32_t local_cseq = 0;
+  std::uint32_t remote_cseq = 0;
+
+  /// Caller side: our INVITE + their 2xx.
+  static Result<Dialog> from_uac(const Message& invite, const Message& ok);
+  /// Callee side: their INVITE + our 2xx.
+  static Result<Dialog> from_uas(const Message& invite, const Message& ok);
+
+  /// Dialog identifier (Call-ID + tags); direction-local.
+  std::string id() const { return call_id + ";" + local_tag + ";" + remote_tag; }
+
+  /// Builds an in-dialog request with the next local CSeq.
+  Message make_request(std::string method);
+
+  /// True when the message belongs to this dialog (remote request view).
+  bool matches_request(const Message& request) const;
+};
+
+}  // namespace siphoc::sip

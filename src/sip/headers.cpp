@@ -1,0 +1,143 @@
+#include "sip/headers.hpp"
+
+#include <charconv>
+
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+namespace {
+
+void parse_params(std::string_view text,
+                  std::map<std::string, std::string>& out) {
+  for (const auto& p : split_trimmed(text, ';')) {
+    auto [k, v] = split_kv(p, '=');
+    out[to_lower(k)] = v;
+  }
+}
+
+}  // namespace
+
+Result<NameAddr> NameAddr::parse(std::string_view text) {
+  NameAddr na;
+  text = trim(text);
+
+  const auto lt = text.find('<');
+  if (lt != std::string_view::npos) {
+    const auto gt = text.find('>', lt);
+    if (gt == std::string_view::npos) return fail("name-addr: missing '>'");
+    auto display = trim(text.substr(0, lt));
+    if (display.size() >= 2 && display.front() == '"' &&
+        display.back() == '"') {
+      display = display.substr(1, display.size() - 2);
+    }
+    na.display = std::string(display);
+    auto uri = Uri::parse(text.substr(lt + 1, gt - lt - 1));
+    if (!uri) return uri.error();
+    na.uri = std::move(*uri);
+    if (gt + 1 < text.size()) {
+      auto rest = text.substr(gt + 1);
+      const auto semi = rest.find(';');
+      if (semi != std::string_view::npos) {
+        parse_params(rest.substr(semi + 1), na.params);
+      }
+    }
+    return na;
+  }
+
+  // addr-spec form: params after ';' belong to the header, not the URI.
+  const auto semi = text.find(';');
+  auto uri = Uri::parse(semi == std::string_view::npos ? text
+                                                       : text.substr(0, semi));
+  if (!uri) return uri.error();
+  na.uri = std::move(*uri);
+  if (semi != std::string_view::npos) {
+    parse_params(text.substr(semi + 1), na.params);
+  }
+  return na;
+}
+
+std::string NameAddr::to_string() const {
+  std::string out;
+  if (!display.empty()) out += "\"" + display + "\" ";
+  out += "<" + uri.to_string() + ">";
+  for (const auto& [k, v] : params) {
+    out += ";" + k;
+    if (!v.empty()) out += "=" + v;
+  }
+  return out;
+}
+
+Result<Via> Via::parse(std::string_view text) {
+  Via via;
+  text = trim(text);
+  if (!istarts_with(text, "SIP/2.0/")) return fail("via: bad protocol");
+  text.remove_prefix(8);
+  const auto space = text.find(' ');
+  if (space == std::string_view::npos) return fail("via: missing sent-by");
+  const auto transport = text.substr(0, space);
+  if (!iequals(transport, "UDP")) {
+    return fail("via: unsupported transport '" + std::string(transport) + "'");
+  }
+  text = trim(text.substr(space + 1));
+
+  std::string_view sent_by = text;
+  const auto semi = text.find(';');
+  if (semi != std::string_view::npos) {
+    sent_by = trim(text.substr(0, semi));
+    parse_params(text.substr(semi + 1), via.params);
+  }
+  const auto colon = sent_by.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port_text = sent_by.substr(colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port > 65535) {
+      return fail("via: bad port");
+    }
+    via.port = static_cast<std::uint16_t>(port);
+    sent_by = sent_by.substr(0, colon);
+  }
+  if (sent_by.empty()) return fail("via: empty host");
+  via.host = std::string(sent_by);
+  return via;
+}
+
+std::string Via::to_string() const {
+  std::string out = "SIP/2.0/UDP " + host + ":" + std::to_string(port);
+  for (const auto& [k, v] : params) {
+    out += ";" + k;
+    if (!v.empty()) out += "=" + v;
+  }
+  return out;
+}
+
+Result<net::Endpoint> Via::response_endpoint() const {
+  std::string addr_text = host;
+  if (const auto it = params.find("received"); it != params.end()) {
+    addr_text = it->second;
+  }
+  const auto addr = net::Address::parse(addr_text);
+  if (!addr) return fail("via: non-numeric sent-by without received param");
+  return net::Endpoint{*addr, port};
+}
+
+Result<CSeq> CSeq::parse(std::string_view text) {
+  text = trim(text);
+  const auto space = text.find(' ');
+  if (space == std::string_view::npos) return fail("cseq: missing method");
+  CSeq cseq;
+  const auto num_text = text.substr(0, space);
+  const auto [ptr, ec] = std::from_chars(
+      num_text.data(), num_text.data() + num_text.size(), cseq.number);
+  if (ec != std::errc{} || ptr != num_text.data() + num_text.size()) {
+    return fail("cseq: bad number");
+  }
+  cseq.method = std::string(trim(text.substr(space + 1)));
+  if (cseq.method.empty()) return fail("cseq: empty method");
+  return cseq;
+}
+
+}  // namespace siphoc::sip

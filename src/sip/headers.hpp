@@ -1,0 +1,70 @@
+// Typed SIP header values (RFC 3261 section 20 subset):
+//   NameAddr -- From / To / Contact / Route / Record-Route
+//   Via      -- transport hop trace with branch parameter
+//   CSeq     -- command sequence
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "sip/uri.hpp"
+
+namespace siphoc::sip {
+
+/// `"Display Name" <sip:user@host>;param=value`
+struct NameAddr {
+  std::string display;
+  Uri uri;
+  std::map<std::string, std::string> params;
+
+  static Result<NameAddr> parse(std::string_view text);
+  std::string to_string() const;
+
+  std::string tag() const {
+    const auto it = params.find("tag");
+    return it == params.end() ? std::string() : it->second;
+  }
+  void set_tag(std::string tag) { params["tag"] = std::move(tag); }
+
+  friend bool operator==(const NameAddr&, const NameAddr&) = default;
+};
+
+/// `SIP/2.0/UDP host:port;branch=z9hG4bK...;received=...`
+struct Via {
+  std::string host;
+  std::uint16_t port = 5060;
+  std::map<std::string, std::string> params;
+
+  static Result<Via> parse(std::string_view text);
+  std::string to_string() const;
+
+  std::string branch() const {
+    const auto it = params.find("branch");
+    return it == params.end() ? std::string() : it->second;
+  }
+
+  /// Where to send the response: received param wins over sent-by host.
+  Result<net::Endpoint> response_endpoint() const;
+
+  friend bool operator==(const Via&, const Via&) = default;
+};
+
+/// `314159 INVITE`
+struct CSeq {
+  std::uint32_t number = 0;
+  std::string method;
+
+  static Result<CSeq> parse(std::string_view text);
+  std::string to_string() const {
+    return std::to_string(number) + " " + method;
+  }
+
+  friend bool operator==(const CSeq&, const CSeq&) = default;
+};
+
+/// RFC 3261 branch cookie; all compliant branches start with it.
+inline constexpr std::string_view kBranchCookie = "z9hG4bK";
+
+}  // namespace siphoc::sip

@@ -1,0 +1,321 @@
+#include "sip/message.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+namespace {
+
+/// Canonicalizes compact header forms (RFC 3261 7.3.3).
+std::string canonical_name(std::string_view name) {
+  const std::string lower = to_lower(trim(name));
+  if (lower == "v") return "via";
+  if (lower == "f") return "from";
+  if (lower == "t") return "to";
+  if (lower == "i") return "call-id";
+  if (lower == "m") return "contact";
+  if (lower == "l") return "content-length";
+  if (lower == "c") return "content-type";
+  return lower;
+}
+
+/// Pretty header name for serialization ("call-id" -> "Call-ID").
+std::string display_name(std::string_view canonical) {
+  if (canonical == "call-id") return "Call-ID";
+  if (canonical == "cseq") return "CSeq";
+  if (canonical == "www-authenticate") return "WWW-Authenticate";
+  std::string out(canonical);
+  bool upper_next = true;
+  for (char& c : out) {
+    if (upper_next && c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+    upper_next = c == '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view default_reason(int status) {
+  switch (status) {
+    case 100: return "Trying";
+    case 180: return "Ringing";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 480: return "Temporarily Unavailable";
+    case 481: return "Call/Transaction Does Not Exist";
+    case 486: return "Busy Here";
+    case 487: return "Request Terminated";
+    case 500: return "Server Internal Error";
+    case 503: return "Service Unavailable";
+    case 603: return "Decline";
+    default: return "Unknown";
+  }
+}
+
+Message Message::request(std::string method, Uri request_uri) {
+  Message m;
+  m.is_request_ = true;
+  m.method_ = std::move(method);
+  m.request_uri_ = std::move(request_uri);
+  m.set_max_forwards(70);
+  return m;
+}
+
+Message Message::response_to(const Message& req, int status,
+                             std::string reason) {
+  Message m;
+  m.is_request_ = false;
+  m.status_ = status;
+  m.reason_ = reason.empty() ? std::string(default_reason(status))
+                             : std::move(reason);
+  for (const auto& [name, value] : req.headers_) {
+    if (name == "via" || name == "from" || name == "to" ||
+        name == "call-id" || name == "cseq" || name == "record-route") {
+      m.headers_.emplace_back(name, value);
+    }
+  }
+  return m;
+}
+
+Result<Message> Message::parse(std::string_view text) {
+  Message m;
+  // Start line.
+  auto line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return fail("sip: no start line");
+  const auto start_line = text.substr(0, line_end);
+  text.remove_prefix(line_end + 2);
+
+  if (starts_with(start_line, "SIP/2.0 ")) {
+    m.is_request_ = false;
+    auto rest = start_line.substr(8);
+    const auto space = rest.find(' ');
+    const auto code_text = rest.substr(0, space);
+    const auto [ptr, ec] = std::from_chars(
+        code_text.data(), code_text.data() + code_text.size(), m.status_);
+    if (ec != std::errc{} || m.status_ < 100 || m.status_ > 699) {
+      return fail("sip: bad status code");
+    }
+    if (space != std::string_view::npos) {
+      m.reason_ = std::string(trim(rest.substr(space + 1)));
+    }
+  } else {
+    m.is_request_ = true;
+    const auto sp1 = start_line.find(' ');
+    const auto sp2 = start_line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+      return fail("sip: malformed request line");
+    }
+    if (start_line.substr(sp2 + 1) != "SIP/2.0") {
+      return fail("sip: bad version '" +
+                  std::string(start_line.substr(sp2 + 1)) + "'");
+    }
+    m.method_ = std::string(start_line.substr(0, sp1));
+    auto uri = Uri::parse(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    if (!uri) return uri.error();
+    m.request_uri_ = std::move(*uri);
+  }
+
+  // Headers until blank line; folded continuation lines are unfolded.
+  while (true) {
+    line_end = text.find("\r\n");
+    if (line_end == std::string_view::npos) {
+      return fail("sip: headers not terminated");
+    }
+    std::string_view line = text.substr(0, line_end);
+    text.remove_prefix(line_end + 2);
+    if (line.empty()) break;
+
+    if ((line.front() == ' ' || line.front() == '\t') &&
+        !m.headers_.empty()) {
+      m.headers_.back().second += " ";
+      m.headers_.back().second += std::string(trim(line));
+      continue;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return fail("sip: header without colon: '" + std::string(line) + "'");
+    }
+    const auto name = canonical_name(line.substr(0, colon));
+    const auto value = trim(line.substr(colon + 1));
+    // Comma-separated multi-values split into separate entries (Via, Route).
+    if (name == "via" || name == "route" || name == "record-route" ||
+        name == "contact") {
+      for (const auto& part : split_trimmed(value, ',')) {
+        m.headers_.emplace_back(name, part);
+      }
+    } else {
+      m.headers_.emplace_back(name, std::string(value));
+    }
+  }
+
+  // Body: trust Content-Length when present, else take the rest.
+  if (const auto cl = m.header("content-length")) {
+    std::size_t len = 0;
+    const auto [ptr, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), len);
+    if (ec != std::errc{} || len > text.size()) {
+      return fail("sip: bad content-length");
+    }
+    m.body_ = std::string(text.substr(0, len));
+  } else {
+    m.body_ = std::string(text);
+  }
+  return m;
+}
+
+std::string Message::serialize() const {
+  std::string out;
+  if (is_request_) {
+    out = method_ + " " + request_uri_.to_string() + " SIP/2.0\r\n";
+  } else {
+    out = "SIP/2.0 " + std::to_string(status_) + " " + reason_ + "\r\n";
+  }
+  bool have_content_length = false;
+  for (const auto& [name, value] : headers_) {
+    if (name == "content-length") have_content_length = true;
+    out += display_name(name) + ": " + value + "\r\n";
+  }
+  if (!have_content_length) {
+    out += "Content-Length: " + std::to_string(body_.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body_;
+  return out;
+}
+
+std::optional<std::string> Message::header(std::string_view name) const {
+  const auto canonical = canonical_name(name);
+  for (const auto& [n, v] : headers_) {
+    if (n == canonical) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Message::headers(std::string_view name) const {
+  const auto canonical = canonical_name(name);
+  std::vector<std::string> out;
+  for (const auto& [n, v] : headers_) {
+    if (n == canonical) out.push_back(v);
+  }
+  return out;
+}
+
+void Message::set_header(std::string_view name, std::string value) {
+  remove_header(name);
+  add_header(name, std::move(value));
+}
+
+void Message::add_header(std::string_view name, std::string value) {
+  headers_.emplace_back(canonical_name(name), std::move(value));
+}
+
+void Message::prepend_header(std::string_view name, std::string value) {
+  headers_.emplace(headers_.begin(), canonical_name(name), std::move(value));
+}
+
+void Message::remove_header(std::string_view name) {
+  const auto canonical = canonical_name(name);
+  std::erase_if(headers_,
+                [&](const auto& h) { return h.first == canonical; });
+}
+
+void Message::remove_first_header(std::string_view name) {
+  const auto canonical = canonical_name(name);
+  const auto it =
+      std::find_if(headers_.begin(), headers_.end(),
+                   [&](const auto& h) { return h.first == canonical; });
+  if (it != headers_.end()) headers_.erase(it);
+}
+
+Result<NameAddr> Message::from() const {
+  const auto v = header("from");
+  if (!v) return fail("sip: missing From");
+  return NameAddr::parse(*v);
+}
+
+Result<NameAddr> Message::to() const {
+  const auto v = header("to");
+  if (!v) return fail("sip: missing To");
+  return NameAddr::parse(*v);
+}
+
+Result<CSeq> Message::cseq() const {
+  const auto v = header("cseq");
+  if (!v) return fail("sip: missing CSeq");
+  return CSeq::parse(*v);
+}
+
+std::string Message::call_id() const {
+  return header("call-id").value_or(std::string());
+}
+
+Result<Via> Message::top_via() const {
+  const auto v = header("via");
+  if (!v) return fail("sip: missing Via");
+  return Via::parse(*v);
+}
+
+std::vector<Via> Message::vias() const {
+  std::vector<Via> out;
+  for (const auto& v : headers("via")) {
+    if (auto via = Via::parse(v)) out.push_back(std::move(*via));
+  }
+  return out;
+}
+
+void Message::push_via(const Via& via) {
+  prepend_header("via", via.to_string());
+}
+
+void Message::pop_via() { remove_first_header("via"); }
+
+std::optional<NameAddr> Message::contact() const {
+  const auto v = header("contact");
+  if (!v) return std::nullopt;
+  auto na = NameAddr::parse(*v);
+  if (!na) return std::nullopt;
+  return *na;
+}
+
+std::vector<NameAddr> Message::route_set(std::string_view header_name) const {
+  std::vector<NameAddr> out;
+  for (const auto& v : headers(header_name)) {
+    if (auto na = NameAddr::parse(v)) out.push_back(std::move(*na));
+  }
+  return out;
+}
+
+int Message::max_forwards() const {
+  const auto v = header("max-forwards");
+  if (!v) return 70;
+  int mf = 70;
+  std::from_chars(v->data(), v->data() + v->size(), mf);
+  return mf;
+}
+
+void Message::set_max_forwards(int value) {
+  set_header("max-forwards", std::to_string(value));
+}
+
+void Message::set_body(std::string body, std::string content_type) {
+  body_ = std::move(body);
+  set_header("content-type", std::move(content_type));
+  set_header("content-length", std::to_string(body_.size()));
+}
+
+std::string Message::summary() const {
+  if (is_request_) {
+    return method_ + " " + request_uri_.to_string();
+  }
+  std::string method;
+  if (auto cs = cseq()) method = cs->method;
+  return std::to_string(status_) + " " + reason_ + " (" + method + ")";
+}
+
+}  // namespace siphoc::sip

@@ -1,0 +1,96 @@
+// SIP message model, parser and serializer (RFC 3261 wire format).
+//
+// Messages travel as real text -- the same bytes Kphone or Twinkle would
+// emit -- so the packet_trace example can show genuine "INVITE
+// sip:bob@voicehoc.ch SIP/2.0" datagrams crossing the MANET, and the
+// parser is exercised against the exact grammar subset the middleware
+// needs: request/status line, headers (with compact-form aliases), body.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sip/headers.hpp"
+
+namespace siphoc::sip {
+
+// Methods used by the deployment.
+inline constexpr std::string_view kRegister = "REGISTER";
+inline constexpr std::string_view kInvite = "INVITE";
+inline constexpr std::string_view kAck = "ACK";
+inline constexpr std::string_view kBye = "BYE";
+inline constexpr std::string_view kCancel = "CANCEL";
+inline constexpr std::string_view kOptions = "OPTIONS";
+inline constexpr std::string_view kMessage = "MESSAGE";  // RFC 3428 paging IM
+
+class Message {
+ public:
+  /// Builds a request skeleton (start line only; callers add headers).
+  static Message request(std::string method, Uri request_uri);
+  /// Builds a response to `req`: copies Via stack, From, To, Call-ID, CSeq
+  /// per RFC 3261 8.2.6.
+  static Message response_to(const Message& req, int status,
+                             std::string reason = {});
+
+  static Result<Message> parse(std::string_view text);
+  std::string serialize() const;
+
+  bool is_request() const { return is_request_; }
+  bool is_response() const { return !is_request_; }
+
+  const std::string& method() const { return method_; }
+  const Uri& request_uri() const { return request_uri_; }
+  void set_request_uri(Uri uri) { request_uri_ = std::move(uri); }
+  int status() const { return status_; }
+  const std::string& reason() const { return reason_; }
+
+  // --- raw header access (ordered; names case-insensitive) ---------------
+  std::optional<std::string> header(std::string_view name) const;
+  std::vector<std::string> headers(std::string_view name) const;
+  void set_header(std::string_view name, std::string value);   // replace all
+  void add_header(std::string_view name, std::string value);   // append
+  void prepend_header(std::string_view name, std::string value);
+  void remove_header(std::string_view name);
+  /// Removes only the first instance (Via pop, Route pop).
+  void remove_first_header(std::string_view name);
+  const std::vector<std::pair<std::string, std::string>>& raw_headers() const {
+    return headers_;
+  }
+
+  // --- typed accessors ----------------------------------------------------
+  Result<NameAddr> from() const;
+  Result<NameAddr> to() const;
+  Result<CSeq> cseq() const;
+  std::string call_id() const;
+  Result<Via> top_via() const;
+  std::vector<Via> vias() const;
+  void push_via(const Via& via);
+  void pop_via();
+  std::optional<NameAddr> contact() const;
+  std::vector<NameAddr> route_set(std::string_view header_name) const;
+  int max_forwards() const;
+  void set_max_forwards(int value);
+
+  const std::string& body() const { return body_; }
+  void set_body(std::string body, std::string content_type);
+
+  /// Compact one-liner for logs: "INVITE sip:bob@... (3 Vias)".
+  std::string summary() const;
+
+ private:
+  bool is_request_ = true;
+  std::string method_;
+  Uri request_uri_;
+  int status_ = 0;
+  std::string reason_;
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::string body_;
+};
+
+/// Default reason phrases for the status codes the stack emits.
+std::string_view default_reason(int status);
+
+}  // namespace siphoc::sip

@@ -1,0 +1,210 @@
+#include "sip/registrar.hpp"
+
+#include <charconv>
+
+#include "common/md5.hpp"
+#include "sip/auth.hpp"
+
+namespace siphoc::sip {
+
+Registrar::Registrar(net::Host& host, RegistrarConfig config)
+    : host_(host),
+      config_(std::move(config)),
+      log_("registrar", config_.domain),
+      transport_(host, config_.port) {
+  transport_.set_handler([this](Message m, net::Endpoint from) {
+    on_message(std::move(m), from);
+  });
+}
+
+std::optional<Registrar::Binding> Registrar::binding(
+    const std::string& aor) const {
+  const auto it = bindings_.find(aor);
+  if (it == bindings_.end() || it->second.expires <= host_.sim().now()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t Registrar::binding_count() const {
+  std::size_t n = 0;
+  for (const auto& [aor, b] : bindings_) {
+    if (b.expires > host_.sim().now()) ++n;
+  }
+  return n;
+}
+
+void Registrar::on_message(Message message, net::Endpoint from) {
+  if (message.is_response()) {
+    forward_response(std::move(message));
+    return;
+  }
+  if (config_.require_outbound_proxy && from.address != config_.trusted_proxy) {
+    log_.info("rejecting ", message.summary(), " from ",
+              from.address.to_string(), ": not via our outbound proxy");
+    ++stats_.registers_rejected;
+    if (message.method() != kAck) respond(message, 403, from);
+    return;
+  }
+  if (message.method() == kRegister) {
+    handle_register(std::move(message), from);
+  } else {
+    forward_request(std::move(message), from);
+  }
+}
+
+void Registrar::respond(const Message& request, int status,
+                        net::Endpoint from) {
+  Message response = Message::response_to(request, status);
+  if (!transport_.send_response(response)) {
+    transport_.send(response, from);
+  }
+}
+
+bool Registrar::check_authorization(const Message& request,
+                                    net::Endpoint from) {
+  if (!config_.require_auth) return true;
+
+  const auto issue_challenge = [&] {
+    DigestChallenge challenge;
+    challenge.realm = config_.domain;
+    challenge.nonce =
+        md5_hex(config_.domain + std::to_string(++nonce_counter_) +
+                std::to_string(host_.rng().uniform_u64()));
+    issued_nonces_[challenge.nonce] = host_.sim().now() + minutes(5);
+    Message response = Message::response_to(request, 401, "Unauthorized");
+    response.add_header("www-authenticate", challenge.to_string());
+    if (!transport_.send_response(response)) {
+      transport_.send(response, from);
+    }
+  };
+
+  const auto header = request.header("authorization");
+  if (!header) {
+    issue_challenge();
+    return false;
+  }
+  const auto auth = DigestAuthorization::parse(*header);
+  if (!auth) {
+    issue_challenge();
+    return false;
+  }
+  const auto nonce_it = issued_nonces_.find(auth->nonce);
+  if (nonce_it == issued_nonces_.end() ||
+      nonce_it->second <= host_.sim().now()) {
+    issue_challenge();  // stale or foreign nonce: challenge afresh
+    return false;
+  }
+  const auto cred = config_.credentials.find(auth->username);
+  if (cred == config_.credentials.end() ||
+      !verify_authorization(*auth, cred->second, request.method())) {
+    ++stats_.registers_rejected;
+    log_.info("bad credentials for '", auth->username, "'");
+    respond(request, 403, from);
+    return false;
+  }
+  return true;
+}
+
+void Registrar::handle_register(Message request, net::Endpoint from) {
+  const auto to = request.to();
+  if (!to) {
+    respond(request, 400, from);
+    return;
+  }
+  if (!check_authorization(request, from)) return;
+  const std::string aor = to->uri.aor();
+
+  std::uint32_t expires =
+      static_cast<std::uint32_t>(to_seconds(config_.max_expires));
+  if (const auto h = request.header("expires")) {
+    std::from_chars(h->data(), h->data() + h->size(), expires);
+  }
+
+  const auto contact = request.contact();
+  if (expires == 0) {
+    bindings_.erase(aor);
+    log_.info("unregistered ", aor);
+  } else if (contact) {
+    Binding b;
+    b.contact = contact->uri;
+    b.expires = host_.sim().now() + seconds(expires);
+    bindings_[aor] = std::move(b);
+    ++stats_.registers_accepted;
+    log_.info("registered ", aor, " -> ", contact->uri.to_string(),
+              " expires=", expires);
+  } else {
+    respond(request, 400, from);
+    return;
+  }
+
+  Message ok = Message::response_to(request, 200);
+  if (contact) {
+    ok.add_header("contact", contact->to_string() + ";expires=" +
+                                 std::to_string(expires));
+  }
+  if (!transport_.send_response(ok)) transport_.send(ok, from);
+}
+
+void Registrar::forward_request(Message request, net::Endpoint from) {
+  // Loop/expiry guard.
+  const int mf = request.max_forwards();
+  if (mf <= 0) {
+    if (request.method() != kAck) respond(request, 483, from);
+    return;
+  }
+  request.set_max_forwards(mf - 1);
+
+  // Destination: a numeric request URI forwards directly (in-dialog
+  // requests addressed to a contact); a domain URI is looked up in the
+  // bindings.
+  net::Endpoint dst;
+  if (const auto numeric = request.request_uri().numeric_endpoint();
+      numeric && !host_.owns_address(numeric->address)) {
+    dst = *numeric;
+  } else {
+    const std::string aor = request.request_uri().aor();
+    const auto b = binding(aor);
+    if (!b) {
+      ++stats_.requests_failed;
+      log_.info(request.method(), " for ", aor, ": no binding -> 404");
+      if (request.method() != kAck) respond(request, 404, from);
+      return;
+    }
+    const auto contact_ep = b->contact.numeric_endpoint();
+    if (!contact_ep) {
+      ++stats_.requests_failed;
+      if (request.method() != kAck) respond(request, 502, from);
+      return;
+    }
+    dst = *contact_ep;
+  }
+
+  Via via;
+  via.host = host_.wired_address().to_string();
+  via.port = config_.port;
+  via.params["branch"] =
+      std::string(kBranchCookie) + "reg" +
+      std::to_string(host_.rng().uniform_int(0, 0xffffff));
+  request.push_via(via);
+  ++stats_.requests_forwarded;
+  transport_.send(request, dst);
+}
+
+void Registrar::forward_response(Message response) {
+  // Pop our Via, forward to the next one.
+  auto vias = response.vias();
+  if (vias.empty()) return;
+  if (vias.front().host != host_.wired_address().to_string()) {
+    log_.warn("response with foreign top Via, dropping");
+    return;
+  }
+  response.pop_via();
+  auto next = response.top_via();
+  if (!next) return;
+  auto dst = next->response_endpoint();
+  if (!dst) return;
+  transport_.send(response, *dst);
+}
+
+}  // namespace siphoc::sip

@@ -1,0 +1,78 @@
+// Internet SIP provider: registrar + stateless domain proxy.
+//
+// Plays the role of the paper's providers (siphoc.ch, netvoip.ch,
+// polyphone.ethz.ch): stores REGISTER bindings for its domain and forwards
+// requests addressed to its users to their registered contact.
+//
+// The `require_outbound_proxy` switch reproduces the polyphone.ethz.ch
+// interoperability failure of paper section 3.2: such a provider only
+// accepts requests relayed through its own outbound proxy; direct requests
+// are rejected with 403. Since SIPHoc overwrites the client's
+// outbound-proxy setting with localhost, the SIPHoc proxy can only deduce
+// the provider's address from the URI domain via DNS -- which reaches the
+// registrar directly and fails. ("This is an open issue which we plan to
+// address in the near future.")
+#pragma once
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "sim/simulator.hpp"
+#include "sip/transport.hpp"
+
+namespace siphoc::sip {
+
+struct RegistrarConfig {
+  std::string domain;  // "voicehoc.ch"
+  std::uint16_t port = 5060;
+  bool require_outbound_proxy = false;
+  net::Address trusted_proxy;  // only source accepted when required
+  Duration max_expires = seconds(3600);
+  /// Digest authentication (RFC 3261 §22): REGISTER is challenged with 401
+  /// unless it carries a valid Authorization for a known account.
+  bool require_auth = false;
+  std::map<std::string, std::string> credentials;  // username -> password
+};
+
+class Registrar {
+ public:
+  Registrar(net::Host& host, RegistrarConfig config);
+
+  struct Binding {
+    Uri contact;
+    TimePoint expires{};
+  };
+
+  std::optional<Binding> binding(const std::string& aor) const;
+  std::size_t binding_count() const;
+  const RegistrarConfig& config() const { return config_; }
+
+  struct RegistrarStats {
+    std::uint64_t registers_accepted = 0;
+    std::uint64_t registers_rejected = 0;
+    std::uint64_t requests_forwarded = 0;
+    std::uint64_t requests_failed = 0;
+  };
+  const RegistrarStats& stats() const { return stats_; }
+
+ private:
+  void on_message(Message message, net::Endpoint from);
+  void handle_register(Message request, net::Endpoint from);
+  /// True when the REGISTER may proceed; otherwise a 401 challenge (or 403
+  /// for unknown/bad credentials) has been sent.
+  bool check_authorization(const Message& request, net::Endpoint from);
+  void forward_request(Message request, net::Endpoint from);
+  void forward_response(Message response);
+  void respond(const Message& request, int status, net::Endpoint from);
+
+  net::Host& host_;
+  RegistrarConfig config_;
+  Logger log_;
+  Transport transport_;
+  std::map<std::string, Binding> bindings_;  // AOR -> contact
+  std::map<std::string, TimePoint> issued_nonces_;
+  std::uint64_t nonce_counter_ = 0;
+  RegistrarStats stats_;
+};
+
+}  // namespace siphoc::sip

@@ -1,0 +1,113 @@
+#include "sip/sdp.hpp"
+
+#include <charconv>
+
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+Result<Sdp> Sdp::parse(std::string_view text) {
+  Sdp sdp;
+  bool have_connection = false;
+  for (auto& raw_line : split(text, '\n')) {
+    std::string_view line = raw_line;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() < 2 || line[1] != '=') continue;
+    const char kind = line[0];
+    const auto value = line.substr(2);
+    switch (kind) {
+      case 'o': {
+        const auto fields = split_trimmed(value, ' ');
+        if (fields.size() >= 3) {
+          sdp.origin_user = fields[0];
+          std::from_chars(fields[1].data(),
+                          fields[1].data() + fields[1].size(),
+                          sdp.session_id);
+          std::from_chars(fields[2].data(),
+                          fields[2].data() + fields[2].size(),
+                          sdp.session_version);
+        }
+        break;
+      }
+      case 's':
+        sdp.session_name = std::string(value);
+        break;
+      case 'c': {
+        const auto fields = split_trimmed(value, ' ');
+        if (fields.size() == 3) {
+          if (const auto addr = net::Address::parse(fields[2])) {
+            sdp.connection = *addr;
+            have_connection = true;
+          }
+        }
+        break;
+      }
+      case 'm': {
+        const auto fields = split_trimmed(value, ' ');
+        if (fields.size() < 4) return fail("sdp: malformed m= line");
+        SdpMedia media;
+        media.type = fields[0];
+        unsigned port = 0;
+        const auto [p, ec] = std::from_chars(
+            fields[1].data(), fields[1].data() + fields[1].size(), port);
+        if (ec != std::errc{} || port > 65535) {
+          return fail("sdp: bad media port");
+        }
+        media.port = static_cast<std::uint16_t>(port);
+        media.proto = fields[2];
+        media.payload_types.clear();
+        for (std::size_t i = 3; i < fields.size(); ++i) {
+          int pt = 0;
+          std::from_chars(fields[i].data(),
+                          fields[i].data() + fields[i].size(), pt);
+          media.payload_types.push_back(pt);
+        }
+        sdp.media.push_back(std::move(media));
+        break;
+      }
+      default:
+        break;  // v=, t=, a= etc. tolerated and ignored
+    }
+  }
+  if (!have_connection) return fail("sdp: missing c= line");
+  if (sdp.media.empty()) return fail("sdp: no media lines");
+  return sdp;
+}
+
+std::string Sdp::serialize() const {
+  std::string out = "v=0\r\n";
+  out += "o=" + origin_user + " " + std::to_string(session_id) + " " +
+         std::to_string(session_version) + " IN IP4 " +
+         connection.to_string() + "\r\n";
+  out += "s=" + session_name + "\r\n";
+  out += "c=IN IP4 " + connection.to_string() + "\r\n";
+  out += "t=0 0\r\n";
+  for (const auto& m : media) {
+    out += "m=" + m.type + " " + std::to_string(m.port) + " " + m.proto;
+    for (const int pt : m.payload_types) out += " " + std::to_string(pt);
+    out += "\r\n";
+    for (const int pt : m.payload_types) {
+      if (pt == 0) out += "a=rtpmap:0 PCMU/8000\r\n";
+    }
+  }
+  return out;
+}
+
+Result<net::Endpoint> Sdp::audio_endpoint() const {
+  for (const auto& m : media) {
+    if (m.type == "audio") return net::Endpoint{connection, m.port};
+  }
+  return fail("sdp: no audio stream");
+}
+
+Sdp Sdp::audio(net::Address address, std::uint16_t rtp_port,
+               std::uint64_t session_id) {
+  Sdp sdp;
+  sdp.connection = address;
+  sdp.session_id = session_id;
+  sdp.session_version = 1;
+  sdp.media.push_back(SdpMedia{"audio", rtp_port, "RTP/AVP", {0}});
+  return sdp;
+}
+
+}  // namespace siphoc::sip

@@ -1,0 +1,43 @@
+// SDP (RFC 4566 subset) -- the session descriptions carried in INVITE/200
+// bodies. The softphone offers one G.711 (PCMU/8000) audio stream; the
+// answer echoes the codec with the callee's own RTP endpoint. That endpoint
+// pair is what the RTP engines use to exchange voice across the MANET.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/address.hpp"
+
+namespace siphoc::sip {
+
+struct SdpMedia {
+  std::string type = "audio";
+  std::uint16_t port = 0;
+  std::string proto = "RTP/AVP";
+  std::vector<int> payload_types = {0};  // 0 = PCMU/8000 (G.711 u-law)
+};
+
+struct Sdp {
+  std::string session_name = "-";
+  std::string origin_user = "-";
+  std::uint64_t session_id = 0;
+  std::uint64_t session_version = 0;
+  net::Address connection;  // c= line
+  std::vector<SdpMedia> media;
+
+  static Result<Sdp> parse(std::string_view text);
+  std::string serialize() const;
+
+  /// Convenience: first audio stream endpoint.
+  Result<net::Endpoint> audio_endpoint() const;
+
+  /// Builds the standard one-stream G.711 offer/answer.
+  static Sdp audio(net::Address address, std::uint16_t rtp_port,
+                   std::uint64_t session_id);
+};
+
+inline constexpr std::string_view kSdpContentType = "application/sdp";
+
+}  // namespace siphoc::sip

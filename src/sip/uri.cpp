@@ -1,0 +1,83 @@
+#include "sip/uri.hpp"
+
+#include <charconv>
+
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+Result<Uri> Uri::parse(std::string_view text) {
+  Uri uri;
+  text = trim(text);
+
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return fail("uri: missing scheme");
+  const auto scheme = text.substr(0, colon);
+  if (!iequals(scheme, "sip") && !iequals(scheme, "sips")) {
+    return fail("uri: unsupported scheme '" + std::string(scheme) + "'");
+  }
+  uri.scheme = to_lower(scheme);
+  text.remove_prefix(colon + 1);
+
+  // Split off ;params.
+  std::string_view host_part = text;
+  const auto semi = text.find(';');
+  if (semi != std::string_view::npos) {
+    host_part = text.substr(0, semi);
+    for (const auto& p : split_trimmed(text.substr(semi + 1), ';')) {
+      auto [k, v] = split_kv(p, '=');
+      uri.params[to_lower(k)] = v;
+    }
+  }
+
+  const auto at = host_part.find('@');
+  if (at != std::string_view::npos) {
+    uri.user = std::string(host_part.substr(0, at));
+    host_part.remove_prefix(at + 1);
+  }
+  if (host_part.empty()) return fail("uri: empty host");
+
+  const auto port_colon = host_part.rfind(':');
+  if (port_colon != std::string_view::npos) {
+    const auto port_text = host_part.substr(port_colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port > 65535) {
+      return fail("uri: bad port '" + std::string(port_text) + "'");
+    }
+    uri.port = static_cast<std::uint16_t>(port);
+    host_part = host_part.substr(0, port_colon);
+  }
+  uri.host = std::string(host_part);
+  return uri;
+}
+
+std::string Uri::to_string() const {
+  std::string out = scheme + ":";
+  if (!user.empty()) out += user + "@";
+  out += host;
+  if (port != 0) out += ":" + std::to_string(port);
+  for (const auto& [k, v] : params) {
+    out += ";" + k;
+    if (!v.empty()) out += "=" + v;
+  }
+  return out;
+}
+
+std::optional<net::Endpoint> Uri::numeric_endpoint() const {
+  const auto addr = net::Address::parse(host);
+  if (!addr) return std::nullopt;
+  return net::Endpoint{*addr, port != 0 ? port : std::uint16_t{5060}};
+}
+
+Uri Uri::from_endpoint(net::Endpoint ep, std::string user) {
+  Uri uri;
+  uri.user = std::move(user);
+  uri.host = ep.address.to_string();
+  uri.port = ep.port;
+  return uri;
+}
+
+}  // namespace siphoc::sip

@@ -1,0 +1,39 @@
+// SIP URI (RFC 3261 section 19.1, subset: sip scheme, user@host:port and
+// ;parameters). Hosts may be domain names ("voicehoc.ch") or numeric
+// addresses; the transport layer decides how to resolve them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "net/address.hpp"
+
+namespace siphoc::sip {
+
+struct Uri {
+  std::string scheme = "sip";
+  std::string user;
+  std::string host;
+  std::uint16_t port = 0;  // 0 = unspecified (defaults to 5060 on resolve)
+  std::map<std::string, std::string> params;
+
+  static Result<Uri> parse(std::string_view text);
+  std::string to_string() const;
+
+  /// Address-of-record: "user@host" -- the key under which contacts are
+  /// advertised in MANET SLP and stored by registrars.
+  std::string aor() const { return user + "@" + host; }
+
+  /// Numeric hosts resolve directly; domain hosts need DNS.
+  std::optional<net::Endpoint> numeric_endpoint() const;
+
+  /// Builds a URI pointing at a concrete endpoint (Contact construction).
+  static Uri from_endpoint(net::Endpoint ep, std::string user = {});
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+};
+
+}  // namespace siphoc::sip

@@ -1,0 +1,55 @@
+// Connection Provider (paper section 2): "manages connections of the node
+// to the Internet when there is a gateway in the MANET. It periodically
+// checks whether it can find an gateway service (using MANET SLP) and open
+// a layer two tunnel connection to the node offering the tunnel server."
+#pragma once
+
+#include "siphoc/tunnel.hpp"
+#include "slp/directory.hpp"
+
+namespace siphoc {
+
+struct ConnectionProviderConfig {
+  Duration check_interval = seconds(5);
+  Duration lookup_timeout = seconds(3);
+};
+
+class ConnectionProvider {
+ public:
+  /// `on_change` fires when Internet reachability flips.
+  ConnectionProvider(net::Host& host, slp::Directory& directory,
+                     ConnectionProviderConfig config = {},
+                     std::function<void(bool online)> on_change = {});
+  ~ConnectionProvider();
+
+  void start();
+  void stop();
+
+  /// The node is online when it has native wired connectivity or an open
+  /// tunnel to a gateway.
+  bool internet_available() const;
+  /// The address this node is reachable at from the Internet (wired or
+  /// tunnel-assigned), or unspecified when offline.
+  net::Address internet_address() const;
+
+  bool tunnel_up() const { return tunnel_.connected(); }
+  net::Endpoint current_gateway() const { return tunnel_.gateway(); }
+
+  std::uint64_t gateway_discoveries() const { return discoveries_; }
+
+ private:
+  void tick();
+
+  net::Host& host_;
+  slp::Directory& directory_;
+  ConnectionProviderConfig config_;
+  Logger log_;
+  std::function<void(bool)> on_change_;
+  TunnelClient tunnel_;
+  sim::PeriodicTimer timer_;
+  bool started_ = false;
+  bool lookup_in_flight_ = false;
+  std::uint64_t discoveries_ = 0;
+};
+
+}  // namespace siphoc

@@ -1,0 +1,53 @@
+#include "siphoc/gateway_provider.hpp"
+
+namespace siphoc {
+
+GatewayProvider::GatewayProvider(net::Host& host, slp::Directory& directory,
+                                 GatewayProviderConfig config)
+    : host_(host),
+      directory_(directory),
+      config_(config),
+      log_("gateway", host.name()),
+      server_(host) {}
+
+GatewayProvider::~GatewayProvider() { stop(); }
+
+void GatewayProvider::start() {
+  if (started_) return;
+  started_ = true;
+  tick();
+  timer_.start(host_.sim(), config_.advertise_interval, [this] { tick(); });
+}
+
+void GatewayProvider::stop() {
+  if (!started_) return;
+  started_ = false;
+  timer_.stop();
+  server_.stop();
+  directory_.deregister_service(std::string(slp::kGatewayService),
+                                host_.manet_address().to_string());
+}
+
+void GatewayProvider::tick() {
+  const bool online = host_.has_wired();
+  if (online && !server_.running()) {
+    server_.start();
+    log_.info("internet uplink present, tunnel server started");
+  } else if (!online && server_.running()) {
+    server_.stop();
+    directory_.deregister_service(std::string(slp::kGatewayService),
+                                  host_.manet_address().to_string());
+    log_.info("internet uplink lost, tunnel server stopped");
+    return;
+  }
+  if (!online) return;
+  // Refresh the gateway advertisement; the value is the MANET endpoint of
+  // our tunnel server. The key is this gateway's own address so multiple
+  // gateways coexist in every cache (clients find any via wildcard lookup).
+  const net::Endpoint ep{host_.manet_address(), net::kTunnelPort};
+  directory_.register_service(std::string(slp::kGatewayService),
+                              host_.manet_address().to_string(),
+                              ep.to_string(), config_.advertise_lifetime);
+}
+
+}  // namespace siphoc

@@ -1,0 +1,44 @@
+// Gateway Provider (paper section 2): on a node with Internet connectivity,
+// "makes this information available to other nodes by publishing an SLP
+// gateway service. It also starts a layer two tunnel server ready to accept
+// connections."
+#pragma once
+
+#include "siphoc/tunnel.hpp"
+#include "slp/directory.hpp"
+
+namespace siphoc {
+
+struct GatewayProviderConfig {
+  Duration advertise_interval = seconds(5);
+  Duration advertise_lifetime = seconds(15);
+};
+
+class GatewayProvider {
+ public:
+  GatewayProvider(net::Host& host, slp::Directory& directory,
+                  GatewayProviderConfig config = {});
+  ~GatewayProvider();
+
+  /// Starts advertising + serving if (and only if) the host currently has
+  /// a wired Internet attachment; re-checked every advertise interval, so
+  /// connectivity gained or lost at runtime is picked up.
+  void start();
+  void stop();
+
+  bool serving() const { return server_.running(); }
+  const TunnelServer& tunnel_server() const { return server_; }
+
+ private:
+  void tick();
+
+  net::Host& host_;
+  slp::Directory& directory_;
+  GatewayProviderConfig config_;
+  Logger log_;
+  TunnelServer server_;
+  sim::PeriodicTimer timer_;
+  bool started_ = false;
+};
+
+}  // namespace siphoc

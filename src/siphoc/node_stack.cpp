@@ -1,0 +1,59 @@
+#include "siphoc/node_stack.hpp"
+
+namespace siphoc {
+
+NodeStack::NodeStack(net::Host& host, net::Internet* internet,
+                     NodeStackConfig config)
+    : host_(host), config_(std::move(config)) {
+  if (config_.routing == RoutingKind::kAodv) {
+    routing_ = std::make_unique<routing::Aodv>(host_, config_.aodv);
+  } else {
+    routing_ = std::make_unique<routing::Olsr>(host_, config_.olsr);
+  }
+
+  const slp::ManetSlpConfig slp_config = config_.slp.value_or(
+      config_.routing == RoutingKind::kAodv
+          ? slp::ManetSlpConfig::for_aodv()
+          : slp::ManetSlpConfig::for_olsr());
+  slp_ = std::make_unique<slp::ManetSlp>(host_, *routing_, slp_config);
+
+  proxy_ = std::make_unique<SiphocProxy>(host_, *slp_, config_.proxy);
+  if (internet != nullptr) {
+    proxy_->set_dns_resolver([internet](const std::string& domain) {
+      return internet->resolve(domain);
+    });
+  }
+
+  if (config_.run_gateway_provider) {
+    gateway_ = std::make_unique<GatewayProvider>(host_, *slp_,
+                                                 config_.gateway);
+  }
+  if (config_.run_connection_provider) {
+    connection_ = std::make_unique<ConnectionProvider>(
+        host_, *slp_, config_.connection);
+  }
+  proxy_->set_internet_address_fn([this] {
+    if (connection_) return connection_->internet_address();
+    return host_.has_wired() ? host_.wired_address() : net::Address{};
+  });
+}
+
+NodeStack::~NodeStack() { stop(); }
+
+void NodeStack::start() {
+  if (started_) return;
+  started_ = true;
+  routing_->start();
+  if (gateway_) gateway_->start();
+  if (connection_) connection_->start();
+}
+
+void NodeStack::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (connection_) connection_->stop();
+  if (gateway_) gateway_->stop();
+  routing_->stop();
+}
+
+}  // namespace siphoc

@@ -1,0 +1,81 @@
+// NodeStack: the full per-node SIPHoc deployment (paper Figure 1).
+//
+// Assembles, in the same composition the paper runs as five operating
+// system processes on each laptop/iPAQ:
+//   * the MANET routing daemon (AODV or OLSR),
+//   * MANET SLP, installed as the routing protocol's piggyback plugin,
+//   * the SIPHoc proxy (outbound proxy for the local VoIP application),
+//   * the Gateway Provider (activates when the node has an uplink),
+//   * the Connection Provider (discovers gateways, maintains the tunnel).
+// The VoIP application itself (voip::SoftPhone) attaches on top through
+// nothing but the standard SIP interface on localhost:5060.
+//
+// This is the library's primary public entry point: construct a Host per
+// node, wrap it in a NodeStack, start() -- the node is a SIPHoc node.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "routing/aodv.hpp"
+#include "routing/olsr.hpp"
+#include "siphoc/connection_provider.hpp"
+#include "siphoc/gateway_provider.hpp"
+#include "siphoc/proxy.hpp"
+#include "slp/manet_slp.hpp"
+
+namespace siphoc {
+
+enum class RoutingKind { kAodv, kOlsr };
+
+struct NodeStackConfig {
+  RoutingKind routing = RoutingKind::kAodv;
+  routing::AodvConfig aodv;
+  routing::OlsrConfig olsr;
+  /// Defaults to the plugin matching the routing protocol.
+  std::optional<slp::ManetSlpConfig> slp;
+  ProxyConfig proxy;
+  GatewayProviderConfig gateway;
+  ConnectionProviderConfig connection;
+  bool run_gateway_provider = true;
+  bool run_connection_provider = true;
+};
+
+class NodeStack {
+ public:
+  /// `internet` supplies DNS for provider domains; pass nullptr for nodes
+  /// that will never reach the Internet.
+  NodeStack(net::Host& host, net::Internet* internet,
+            NodeStackConfig config = {});
+  ~NodeStack();
+
+  NodeStack(const NodeStack&) = delete;
+  NodeStack& operator=(const NodeStack&) = delete;
+
+  void start();
+  void stop();
+
+  net::Host& host() { return host_; }
+  routing::Protocol& routing() { return *routing_; }
+  slp::ManetSlp& slp() { return *slp_; }
+  SiphocProxy& proxy() { return *proxy_; }
+  GatewayProvider* gateway_provider() { return gateway_.get(); }
+  ConnectionProvider* connection_provider() { return connection_.get(); }
+
+  bool internet_available() const {
+    return connection_ ? connection_->internet_available()
+                       : host_.has_wired();
+  }
+
+ private:
+  net::Host& host_;
+  NodeStackConfig config_;
+  std::unique_ptr<routing::Protocol> routing_;
+  std::unique_ptr<slp::ManetSlp> slp_;
+  std::unique_ptr<SiphocProxy> proxy_;
+  std::unique_ptr<GatewayProvider> gateway_;
+  std::unique_ptr<ConnectionProvider> connection_;
+  bool started_ = false;
+};
+
+}  // namespace siphoc

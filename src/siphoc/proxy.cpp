@@ -1,0 +1,337 @@
+#include "siphoc/proxy.hpp"
+
+#include <charconv>
+
+#include "sip/sdp.hpp"
+
+namespace siphoc {
+
+using sip::Message;
+
+SiphocProxy::SiphocProxy(net::Host& host, slp::Directory& directory,
+                         ProxyConfig config)
+    : host_(host),
+      directory_(directory),
+      config_(config),
+      log_("proxy", host.name()),
+      transport_(host, config_.port) {
+  transport_.set_handler([this](Message m, net::Endpoint from) {
+    on_message(std::move(m), from);
+  });
+}
+
+std::optional<SiphocProxy::Binding> SiphocProxy::binding(
+    const std::string& user) const {
+  const auto it = bindings_.find(user);
+  if (it == bindings_.end() || it->second.expires <= host_.sim().now()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t SiphocProxy::binding_count() const {
+  std::size_t n = 0;
+  for (const auto& [user, b] : bindings_) {
+    if (b.expires > host_.sim().now()) ++n;
+  }
+  return n;
+}
+
+net::Address SiphocProxy::current_internet_address() const {
+  return internet_address_ ? internet_address_() : net::Address{};
+}
+
+std::optional<net::Endpoint> SiphocProxy::resolve_provider(
+    const std::string& domain) {
+  if (const auto it = config_.provider_outbound_proxies.find(domain);
+      it != config_.provider_outbound_proxies.end()) {
+    return it->second;
+  }
+  if (dns_) {
+    if (const auto addr = dns_(domain)) return net::Endpoint{*addr, 5060};
+  }
+  return std::nullopt;
+}
+
+bool SiphocProxy::egress_is_internet(net::Address dst) const {
+  return dst.in_prefix(net::kInternetPrefix, net::kInternetPrefixLen) ||
+         dst.in_prefix(net::kTunnelPrefix, net::kTunnelPrefixLen);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void SiphocProxy::on_message(Message message, net::Endpoint from) {
+  if (message.is_response()) {
+    forward_response(std::move(message));
+    return;
+  }
+  if (message.method() == sip::kRegister && from.address.is_loopback()) {
+    handle_register(std::move(message), from);
+    return;
+  }
+  route_request(std::move(message), from);
+}
+
+void SiphocProxy::respond_error(const Message& request, int status,
+                                net::Endpoint from) {
+  if (request.method() == sip::kAck) return;  // never answer an ACK
+  Message response = Message::response_to(request, status);
+  if (!transport_.send_response(response)) {
+    transport_.send(response, from);
+  }
+}
+
+// --------------------------------------------------------------------------
+// REGISTER (Figure 3 steps 1-2)
+// --------------------------------------------------------------------------
+
+void SiphocProxy::handle_register(Message request, net::Endpoint from) {
+  const auto to = request.to();
+  const auto contact = request.contact();
+  if (!to || !contact) {
+    respond_error(request, 400, from);
+    return;
+  }
+  const std::string aor = to->uri.aor();
+  const std::string user = to->uri.user;
+
+  std::uint32_t expires =
+      static_cast<std::uint32_t>(to_seconds(config_.binding_lifetime_cap));
+  if (const auto h = request.header("expires")) {
+    std::from_chars(h->data(), h->data() + h->size(), expires);
+  }
+
+  if (expires == 0) {
+    bindings_.erase(user);
+    directory_.deregister_service(std::string(slp::kSipContactService), aor);
+  } else {
+    const auto contact_ep = contact->uri.numeric_endpoint();
+    if (!contact_ep) {
+      respond_error(request, 400, from);
+      return;
+    }
+    Binding b;
+    b.aor = aor;
+    b.contact = *contact_ep;
+    b.expires = host_.sim().now() + seconds(expires);
+    bindings_[user] = std::move(b);
+    ++stats_.registrations;
+
+    // Step 2: advertise *this proxy's* MANET endpoint as the responsible
+    // contact for the user -- the Figure 4 state.
+    directory_.register_service(
+        std::string(slp::kSipContactService), aor,
+        manet_endpoint().to_string(),
+        std::min(config_.slp_advertise_lifetime, Duration(seconds(expires))));
+    log_.info("registered ", aor, " -> ", contact_ep->to_string(),
+              "; advertised ", manet_endpoint().to_string(), " via SLP");
+  }
+
+  // Section 3.2: with Internet connectivity, relay the REGISTER to the
+  // user's provider so the official SIP address works transparently. The
+  // provider's response (200 -- or 403 from an outbound-proxy-requiring
+  // provider) is what the VoIP app then sees.
+  const net::Address inet = current_internet_address();
+  if (!inet.is_unspecified()) {
+    if (const auto provider = resolve_provider(to->uri.host)) {
+      Message upstream = request;
+      ++stats_.upstream_registers;
+      forward_request(std::move(upstream), *provider);
+      return;
+    }
+  }
+
+  // Isolated MANET: the proxy itself acts as the registrar.
+  Message ok = Message::response_to(request, 200);
+  ok.add_header("contact", contact->to_string() + ";expires=" +
+                               std::to_string(expires));
+  if (!transport_.send_response(ok)) transport_.send(ok, from);
+}
+
+// --------------------------------------------------------------------------
+// Request routing (Figure 3 steps 5-8)
+// --------------------------------------------------------------------------
+
+void SiphocProxy::route_request(Message request, net::Endpoint from) {
+  const int mf = request.max_forwards();
+  if (mf <= 0) {
+    respond_error(request, 483, from);
+    return;
+  }
+  request.set_max_forwards(mf - 1);
+
+  const sip::Uri& uri = request.request_uri();
+  const auto numeric = uri.numeric_endpoint();
+
+  // Step 8: a request for one of our registered users is handed to the
+  // local VoIP application -- either addressed to our own endpoint
+  // (in-dialog / provider-routed) or still carrying the AOR.
+  const bool addressed_to_us =
+      numeric && host_.owns_address(numeric->address);
+  if (addressed_to_us || !numeric) {
+    if (const auto b = binding(uri.user)) {
+      deliver_to_local(std::move(request), *b);
+      return;
+    }
+    // An AOR bound here by full AOR match (user registered under another
+    // domain spelling) -- check before resolving further.
+    if (!numeric) {
+      for (const auto& [user, b] : bindings_) {
+        if (b.aor == uri.aor() && b.expires > host_.sim().now()) {
+          deliver_to_local(std::move(request), b);
+          return;
+        }
+      }
+    }
+    if (addressed_to_us) {
+      ++stats_.not_found;
+      respond_error(request, 404, from);
+      return;
+    }
+  }
+
+  // Direct forward: in-dialog requests address a concrete remote endpoint.
+  if (numeric && !host_.owns_address(numeric->address)) {
+    forward_request(std::move(request), *numeric);
+    return;
+  }
+
+  // Steps 6-7: consult MANET SLP for the callee's proxy endpoint.
+  const std::string aor = uri.aor();
+  const std::string domain = uri.host;
+  ++stats_.slp_lookups;
+  log_.info("resolving ", aor, " via MANET SLP");
+  directory_.lookup(
+      std::string(slp::kSipContactService), aor, config_.slp_lookup_timeout,
+      [this, request = std::move(request), from,
+       domain](std::optional<slp::ServiceEntry> entry) mutable {
+        if (entry) {
+          const auto ep = net::Endpoint::parse(entry->value);
+          if (ep) {
+            ++stats_.slp_hits;
+            log_.info("SLP resolved ", request.request_uri().aor(), " -> ",
+                      ep->to_string());
+            forward_request(std::move(request), *ep);
+            return;
+          }
+        }
+        // Not in the MANET: try the Internet (section 3.2).
+        forward_via_internet(std::move(request), domain, from);
+      });
+}
+
+void SiphocProxy::forward_via_internet(Message request,
+                                       const std::string& domain,
+                                       net::Endpoint from) {
+  const net::Address inet = current_internet_address();
+  if (inet.is_unspecified()) {
+    ++stats_.not_found;
+    log_.info("cannot resolve ", request.request_uri().aor(),
+              ": not in MANET, no Internet connectivity");
+    respond_error(request, 404, from);
+    return;
+  }
+  // Provisioned provider outbound proxy wins over DNS (§3.2 open-issue
+  // fix: some providers only accept requests through their own proxy).
+  const auto provider = resolve_provider(domain);
+  if (!provider) {
+    ++stats_.not_found;
+    log_.info("cannot resolve provider domain '", domain, "'");
+    respond_error(request, 404, from);
+    return;
+  }
+  ++stats_.internet_forwards;
+  forward_request(std::move(request), *provider);
+}
+
+void SiphocProxy::deliver_to_local(Message request, const Binding& binding) {
+  ++stats_.delivered_local;
+  sip::Via via;
+  via.host = net::kLoopbackAddress.to_string();
+  via.port = config_.port;
+  via.params["branch"] =
+      std::string(sip::kBranchCookie) + "phoc" +
+      std::to_string(++branch_counter_);
+  request.push_via(via);
+  transport_.send(request, binding.contact);
+}
+
+void SiphocProxy::forward_request(Message request, net::Endpoint dst) {
+  rewrite_for_egress(request, dst);
+  sip::Via via;
+  via.host = egress_is_internet(dst.address)
+                 ? current_internet_address().to_string()
+                 : host_.manet_address().to_string();
+  via.port = config_.port;
+  via.params["branch"] =
+      std::string(sip::kBranchCookie) + "phoc" +
+      std::to_string(++branch_counter_);
+  request.push_via(via);
+  ++stats_.requests_forwarded;
+  transport_.send(request, dst);
+}
+
+void SiphocProxy::forward_response(Message response) {
+  // Pop our Via (whichever realm endpoint it names) and relay to the next.
+  auto vias = response.vias();
+  if (vias.empty()) return;
+  const std::string& top_host = vias.front().host;
+  const bool ours = top_host == host_.manet_address().to_string() ||
+                    top_host == current_internet_address().to_string() ||
+                    top_host == net::kLoopbackAddress.to_string();
+  if (!ours || vias.front().port != config_.port) {
+    log_.warn("response with foreign top Via ", top_host, ", dropping");
+    return;
+  }
+  response.pop_via();
+  const auto next = response.top_via();
+  if (!next) return;
+  auto dst = next->response_endpoint();
+  if (!dst) {
+    log_.warn("cannot route response: unresolvable Via");
+    return;
+  }
+  rewrite_for_egress(response, *dst);
+  transport_.send(response, *dst);
+}
+
+// --------------------------------------------------------------------------
+// Realm crossing: Contact rewriting + SDP ALG
+// --------------------------------------------------------------------------
+
+void SiphocProxy::rewrite_for_egress(Message& message, net::Endpoint dst) {
+  if (dst.address.is_loopback()) return;  // staying on this node
+  const bool to_internet = egress_is_internet(dst.address);
+
+  // Loopback Contact (the local VoIP app) must become an address the peer
+  // can route to: this proxy's realm endpoint, keeping the user part so
+  // in-dialog requests can be matched back to the binding.
+  if (const auto contact = message.contact()) {
+    if (const auto ep = contact->uri.numeric_endpoint();
+        ep && ep->address.is_loopback()) {
+      sip::NameAddr rewritten = *contact;
+      const net::Address realm_addr =
+          to_internet ? current_internet_address() : host_.manet_address();
+      rewritten.uri = sip::Uri::from_endpoint({realm_addr, config_.port},
+                                              contact->uri.user);
+      message.set_header("contact", rewritten.to_string());
+    }
+  }
+
+  // SDP ALG: media leaving toward the Internet must carry the
+  // Internet-visible address (RTP then rides the tunnel).
+  if (to_internet && message.header("content-type") &&
+      *message.header("content-type") == sip::kSdpContentType) {
+    auto sdp = sip::Sdp::parse(message.body());
+    if (sdp && (sdp->connection.in_prefix(net::kManetPrefix,
+                                          net::kManetPrefixLen) ||
+                sdp->connection.is_loopback())) {
+      sdp->connection = current_internet_address();
+      message.set_body(sdp->serialize(), std::string(sip::kSdpContentType));
+    }
+  }
+}
+
+}  // namespace siphoc

@@ -1,0 +1,123 @@
+// The SIPHoc Proxy (paper section 2, Figure 1):
+//
+//   "A proxy with a standard SIP interface but implementing MANET-specific
+//    functionality. Each proxy serves as an outbound SIP proxy for the
+//    local VoIP application."
+//
+// Behaviour (paper section 3.1, Figure 3):
+//   * REGISTER from the local VoIP app (step 1): store the binding locally
+//     and advertise this proxy's own MANET endpoint as the user's contact
+//     in MANET SLP (step 2, Figure 4). When the node is attached to the
+//     Internet and the user's provider domain resolves, the REGISTER is
+//     additionally relayed upstream (section 3.2) with the Contact
+//     rewritten to the node's Internet-visible endpoint.
+//   * INVITE from the local app (step 5): resolve the callee's AOR through
+//     MANET SLP (steps 6-7) and forward to the remote proxy's endpoint;
+//     on SLP miss, fall back to the Internet via DNS on the URI domain --
+//     which is exactly the step that cannot work for providers requiring
+//     their own outbound proxy (the polyphone.ethz.ch open issue).
+//   * Requests arriving from the network for a locally registered user
+//     (step 8) are delivered to the VoIP app's registered contact.
+//
+// The proxy is stateless (RFC 3261 16.11): it pushes/pops Via and lets the
+// user agents' transactions provide reliability. Crossing between the MANET
+// and the Internet realm it also rewrites loopback Contacts to the proper
+// realm endpoint and runs a small SDP ALG so RTP flows over the tunnel.
+#pragma once
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "sip/transport.hpp"
+#include "slp/directory.hpp"
+
+namespace siphoc {
+
+struct ProxyConfig {
+  std::uint16_t port = 5060;
+  Duration slp_lookup_timeout = seconds(4);
+  Duration slp_advertise_lifetime = minutes(2);
+  Duration binding_lifetime_cap = seconds(3600);
+  /// Fix for the paper's §3.2 open issue: providers that require their own
+  /// outbound proxy cannot be reached via the URI domain's DNS entry
+  /// (SIPHoc overwrote the client's outbound-proxy setting). Provisioning
+  /// the provider's proxy endpoint per domain lets the SIPHoc proxy relay
+  /// through it instead.
+  std::map<std::string, net::Endpoint> provider_outbound_proxies;
+};
+
+class SiphocProxy {
+ public:
+  SiphocProxy(net::Host& host, slp::Directory& directory,
+              ProxyConfig config = {});
+
+  /// Wiring for Internet-connected operation: the current Internet-visible
+  /// address (unspecified = offline) and a DNS resolver for SIP domains.
+  void set_internet_address_fn(std::function<net::Address()> fn) {
+    internet_address_ = std::move(fn);
+  }
+  void set_dns_resolver(
+      std::function<std::optional<net::Address>(const std::string&)> fn) {
+    dns_ = std::move(fn);
+  }
+
+  net::Endpoint manet_endpoint() const {
+    return {host_.manet_address(), config_.port};
+  }
+
+  struct ProxyStats {
+    std::uint64_t registrations = 0;
+    std::uint64_t upstream_registers = 0;
+    std::uint64_t requests_forwarded = 0;
+    std::uint64_t slp_lookups = 0;
+    std::uint64_t slp_hits = 0;
+    std::uint64_t internet_forwards = 0;
+    std::uint64_t not_found = 0;
+    std::uint64_t delivered_local = 0;
+  };
+  const ProxyStats& stats() const { return stats_; }
+
+  struct Binding {
+    std::string aor;
+    net::Endpoint contact;  // the local VoIP app (loopback)
+    TimePoint expires{};
+  };
+  std::optional<Binding> binding(const std::string& user) const;
+  std::size_t binding_count() const;
+
+ private:
+  void on_message(sip::Message message, net::Endpoint from);
+  void handle_register(sip::Message request, net::Endpoint from);
+  void route_request(sip::Message request, net::Endpoint from);
+  void forward_request(sip::Message request, net::Endpoint dst);
+  void deliver_to_local(sip::Message request, const Binding& binding);
+  void forward_via_internet(sip::Message request, const std::string& domain,
+                            net::Endpoint from);
+  void forward_response(sip::Message response);
+  void respond_error(const sip::Message& request, int status,
+                     net::Endpoint from);
+
+  bool egress_is_internet(net::Address dst) const;
+  net::Address current_internet_address() const;
+  /// Where requests for `domain` go on the Internet: the provisioned
+  /// provider outbound proxy if any, else DNS on the domain.
+  std::optional<net::Endpoint> resolve_provider(const std::string& domain);
+  /// Rewrites a loopback Contact to this proxy's endpoint in the target
+  /// realm, and the SDP connection address when leaving toward the
+  /// Internet.
+  void rewrite_for_egress(sip::Message& message, net::Endpoint dst);
+
+  net::Host& host_;
+  slp::Directory& directory_;
+  ProxyConfig config_;
+  Logger log_;
+  sip::Transport transport_;
+  std::function<net::Address()> internet_address_;
+  std::function<std::optional<net::Address>(const std::string&)> dns_;
+
+  std::map<std::string, Binding> bindings_;  // by user name
+  std::uint64_t branch_counter_ = 0;
+  ProxyStats stats_;
+};
+
+}  // namespace siphoc

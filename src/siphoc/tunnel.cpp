@@ -1,0 +1,268 @@
+#include "siphoc/tunnel.hpp"
+
+namespace siphoc {
+
+using tunnel::MsgType;
+
+// ===========================================================================
+// TunnelServer
+// ===========================================================================
+
+TunnelServer::TunnelServer(net::Host& host)
+    : host_(host), log_("tunnel-srv", host.name()) {}
+
+TunnelServer::~TunnelServer() { stop(); }
+
+void TunnelServer::start() {
+  if (running_) return;
+  running_ = true;
+  host_.bind(net::kTunnelPort,
+             [this](const net::Datagram& d, const net::RxInfo&) {
+               on_packet(d);
+             });
+  expiry_timer_.start(host_.sim(), seconds(2), [this] { expire_clients(); });
+}
+
+void TunnelServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  expiry_timer_.stop();
+  host_.unbind(net::kTunnelPort);
+  if (host_.internet() != nullptr) {
+    for (const auto& [addr, client] : clients_) {
+      host_.internet()->detach(addr);
+    }
+  }
+  clients_.clear();
+}
+
+void TunnelServer::on_packet(const net::Datagram& d) {
+  BufferReader r(d.payload);
+  auto type = r.u8();
+  if (!type) return;
+
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::kConnect: {
+      if (host_.internet() == nullptr) return;  // lost our uplink
+      // Reuse the existing lease when the same client reconnects.
+      net::Address assigned;
+      for (auto& [addr, client] : clients_) {
+        if (client.manet_endpoint == d.source()) {
+          assigned = addr;
+          break;
+        }
+      }
+      if (assigned.is_unspecified()) {
+        assigned = net::Address{net::kTunnelPrefix.value() |
+                                next_client_octet_++};
+        Client client;
+        client.tunnel_address = assigned;
+        client.manet_endpoint = d.source();
+        client.last_seen = host_.sim().now();
+        clients_[assigned] = client;
+        // Bridge: the gateway answers for the client's tunnel address on
+        // the Internet segment and relays inbound traffic down the tunnel.
+        host_.internet()->attach(assigned, [this, assigned](
+                                               const net::Datagram& inbound) {
+          const auto it = clients_.find(assigned);
+          if (it == clients_.end()) return;
+          relay_to_client(it->second, inbound);
+        });
+        log_.info("client ", d.src.to_string(), " attached as ",
+                  assigned.to_string());
+      }
+      clients_[assigned].last_seen = host_.sim().now();
+      Bytes reply;
+      BufferWriter w(reply);
+      w.u8(static_cast<std::uint8_t>(MsgType::kAccept));
+      w.u32(assigned.value());
+      host_.send_udp(net::kTunnelPort, d.source(), std::move(reply));
+      break;
+    }
+    case MsgType::kData: {
+      auto inner_bytes = r.raw(r.remaining());
+      if (!inner_bytes) return;
+      auto inner = net::Datagram::decode(*inner_bytes);
+      if (!inner) {
+        log_.warn("undecodable tunneled datagram from ", d.src.to_string());
+        return;
+      }
+      const auto it = clients_.find(inner->src);
+      if (it == clients_.end()) return;  // not a leased address: drop
+      it->second.last_seen = host_.sim().now();
+      ++stats_.datagrams_to_internet;
+      stats_.bytes_relayed += inner->wire_size();
+      if (host_.internet() != nullptr) host_.internet()->send(*inner);
+      break;
+    }
+    case MsgType::kKeepalive: {
+      for (auto& [addr, client] : clients_) {
+        if (client.manet_endpoint == d.source()) {
+          client.last_seen = host_.sim().now();
+        }
+      }
+      Bytes reply;
+      BufferWriter w(reply);
+      w.u8(static_cast<std::uint8_t>(MsgType::kKeepaliveAck));
+      host_.send_udp(net::kTunnelPort, d.source(), std::move(reply));
+      break;
+    }
+    case MsgType::kDisconnect: {
+      for (auto it = clients_.begin(); it != clients_.end();) {
+        if (it->second.manet_endpoint == d.source()) {
+          if (host_.internet() != nullptr) host_.internet()->detach(it->first);
+          log_.info("client ", it->first.to_string(), " disconnected");
+          it = clients_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TunnelServer::relay_to_client(const Client& client,
+                                   const net::Datagram& inner) {
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.raw(inner.encode());
+  ++stats_.datagrams_to_clients;
+  stats_.bytes_relayed += inner.wire_size();
+  host_.send_udp(net::kTunnelPort, client.manet_endpoint, std::move(wire));
+}
+
+void TunnelServer::expire_clients() {
+  const TimePoint cutoff = host_.sim().now() - tunnel::kClientExpiry;
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (it->second.last_seen < cutoff) {
+      if (host_.internet() != nullptr) host_.internet()->detach(it->first);
+      log_.info("client ", it->first.to_string(), " expired");
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ===========================================================================
+// TunnelClient
+// ===========================================================================
+
+TunnelClient::TunnelClient(net::Host& host, StateCallback on_state)
+    : host_(host), log_("tunnel-cli", host.name()),
+      on_state_(std::move(on_state)) {}
+
+TunnelClient::~TunnelClient() {
+  if (connected_ || connecting_) teardown(false);
+}
+
+void TunnelClient::connect(net::Endpoint gateway) {
+  if (connected_ || connecting_) return;
+  connecting_ = true;
+  gateway_ = gateway;
+  host_.bind(net::kTunnelClientPort,
+             [this](const net::Datagram& d, const net::RxInfo&) {
+               on_packet(d);
+             });
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(MsgType::kConnect));
+  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  connect_timeout_ = host_.sim().schedule(seconds(5), [this] {
+    if (!connected_) teardown(true);
+  });
+}
+
+void TunnelClient::disconnect() {
+  if (!connected_ && !connecting_) return;
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(MsgType::kDisconnect));
+  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  teardown(true);
+}
+
+void TunnelClient::on_packet(const net::Datagram& d) {
+  BufferReader r(d.payload);
+  auto type = r.u8();
+  if (!type) return;
+
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::kAccept: {
+      auto assigned = r.u32();
+      if (!assigned || connected_) return;
+      connect_timeout_.cancel();
+      connecting_ = false;
+      connected_ = true;
+      tunnel_address_ = net::Address{*assigned};
+      log_.info("tunnel up, address ", tunnel_address_.to_string(), " via ",
+                gateway_.to_string());
+
+      host_.attach_tunnel(tunnel_address_, [this](net::Datagram inner) {
+        encapsulate(std::move(inner));
+      });
+      // Internet + sibling tunnel clients route through the tunnel.
+      host_.add_route({net::kInternetPrefix, net::kInternetPrefixLen,
+                       std::nullopt, net::Interface::kTunnel, 10});
+      host_.add_route({net::kTunnelPrefix, net::kTunnelPrefixLen,
+                       std::nullopt, net::Interface::kTunnel, 10});
+      missed_keepalives_ = 0;
+      keepalive_timer_.start(host_.sim(), tunnel::kKeepaliveInterval,
+                             [this] { send_keepalive(); });
+      if (on_state_) on_state_(true, tunnel_address_);
+      break;
+    }
+    case MsgType::kData: {
+      auto inner_bytes = r.raw(r.remaining());
+      if (!inner_bytes) return;
+      auto inner = net::Datagram::decode(*inner_bytes);
+      if (!inner) return;
+      host_.inject(std::move(*inner), net::Interface::kTunnel);
+      break;
+    }
+    case MsgType::kKeepaliveAck: {
+      missed_keepalives_ = 0;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TunnelClient::encapsulate(net::Datagram inner) {
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.raw(inner.encode());
+  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+}
+
+void TunnelClient::send_keepalive() {
+  if (++missed_keepalives_ > tunnel::kMaxMissedKeepalives) {
+    log_.info("gateway ", gateway_.to_string(), " unreachable, tunnel down");
+    teardown(true);
+    return;
+  }
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u8(static_cast<std::uint8_t>(MsgType::kKeepalive));
+  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+}
+
+void TunnelClient::teardown(bool notify) {
+  const bool was_connected = connected_;
+  connecting_ = false;
+  connected_ = false;
+  keepalive_timer_.stop();
+  connect_timeout_.cancel();
+  host_.unbind(net::kTunnelClientPort);
+  host_.detach_tunnel();  // also clears the tunnel routes
+  tunnel_address_ = net::Address{};
+  if (notify && on_state_ && was_connected) on_state_(false, net::Address{});
+}
+
+}  // namespace siphoc

@@ -1,0 +1,220 @@
+#include "slp/manet_slp.hpp"
+
+#include <algorithm>
+
+namespace siphoc::slp {
+
+ManetSlp::ManetSlp(net::Host& host, routing::Protocol& protocol,
+                   ManetSlpConfig config)
+    : host_(host),
+      protocol_(protocol),
+      config_(config),
+      log_("slp", host.name()) {
+  protocol_.set_handler(this);
+}
+
+ManetSlp::~ManetSlp() { protocol_.set_handler(nullptr); }
+
+// --------------------------------------------------------------------------
+// Directory
+// --------------------------------------------------------------------------
+
+void ManetSlp::register_service(std::string type, std::string key,
+                                std::string value, Duration lifetime) {
+  ServiceEntry e;
+  e.type = std::move(type);
+  e.key = std::move(key);
+  e.value = std::move(value);
+  e.origin = host_.manet_address();
+  e.version = version_counter_++;
+  e.expires = now() + lifetime;
+  log_.info("registered ", e.to_string());
+  local_[{e.type, e.key}] = std::move(e);
+  // Proactive plugins push the new binding out promptly instead of waiting
+  // a full HELLO/TC period.
+  protocol_.nudge_advertisement();
+}
+
+void ManetSlp::deregister_service(const std::string& type,
+                                  const std::string& key) {
+  local_.erase({type, key});
+}
+
+void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
+                      LookupCallback callback) {
+  ++stats_.lookups;
+  if (auto hit = find_match(type, key)) {
+    ++stats_.hits_local;
+    // Resolve asynchronously: callers must not observe reentrant callbacks.
+    host_.sim().schedule(microseconds(1),
+                         [callback = std::move(callback),
+                          entry = std::move(*hit)] { callback(entry); });
+    return;
+  }
+
+  PendingLookup pending;
+  pending.id = next_query_id_++;
+  pending.type = type;
+  pending.key = key;
+  pending.callback = std::move(callback);
+  const std::uint32_t id = pending.id;
+  pending.timeout = host_.sim().schedule(timeout, [this, id] {
+    const auto it =
+        std::find_if(pending_.begin(), pending_.end(),
+                     [&](const PendingLookup& p) { return p.id == id; });
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->callback);
+    pending_.erase(it);
+    ++stats_.misses;
+    cb(std::nullopt);
+  });
+  pending_.push_back(std::move(pending));
+
+  if (config_.piggyback_enabled) {
+    // Reactive protocols flood the query piggybacked on a RREQ; proactive
+    // ones return false and we simply wait for cache convergence.
+    ExtensionBlock block;
+    block.queries.push_back(
+        {id, host_.manet_address(), std::move(type), std::move(key)});
+    protocol_.flood_query(encode_extension(block, now()));
+  }
+}
+
+std::vector<ServiceEntry> ManetSlp::snapshot() const {
+  std::vector<ServiceEntry> out;
+  out.reserve(local_.size() + cache_.size());
+  for (const auto& [k, e] : local_) out.push_back(e);
+  for (const auto& [k, e] : cache_) {
+    if (e.expires > now()) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<ServiceEntry> ManetSlp::find_match(const std::string& type,
+                                                 const std::string& key) const {
+  // Local registrations win; among cached matches prefer the freshest
+  // version (re-registrations supersede stale bindings).
+  for (const auto& [k, e] : local_) {
+    if (e.matches(type, key) && e.expires > now()) return e;
+  }
+  const ServiceEntry* best = nullptr;
+  for (const auto& [k, e] : cache_) {
+    if (!e.matches(type, key) || e.expires <= now()) continue;
+    if (best == nullptr || e.version > best->version) best = &e;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+// --------------------------------------------------------------------------
+// RoutingHandler
+// --------------------------------------------------------------------------
+
+bool ManetSlp::should_advertise(const routing::PacketInfo& info) const {
+  using routing::PacketKind;
+  switch (info.kind) {
+    case PacketKind::kAodvHello:
+    case PacketKind::kOlsrHello:
+      return config_.advertise_on_hello;
+    case PacketKind::kOlsrTc:
+      return config_.advertise_on_tc;
+    case PacketKind::kAodvRrep:
+      return config_.advertise_on_rrep;
+    case PacketKind::kAodvRreq:
+    case PacketKind::kAodvRerr:
+      return false;
+  }
+  return false;
+}
+
+Bytes ManetSlp::on_outgoing(const routing::PacketInfo& info) {
+  if (!config_.piggyback_enabled || !should_advertise(info)) return {};
+  ExtensionBlock block;
+  for (const auto& [k, e] : local_) {
+    if (e.expires <= now()) continue;
+    block.advertisements.push_back(e);
+    if (block.advertisements.size() >= config_.max_adverts_per_packet) break;
+  }
+  return encode_extension(block, now());
+}
+
+routing::HandlerVerdict ManetSlp::on_incoming(
+    const routing::PacketInfo& info, std::span<const std::uint8_t> extension,
+    net::Address from) {
+  routing::HandlerVerdict verdict;
+  if (extension.empty()) return verdict;
+  auto block = decode_extension(extension, now());
+  if (!block) {
+    log_.warn("malformed SLP extension on ", routing::to_string(info.kind),
+              " from ", from.to_string(), ": ", block.error().message);
+    return verdict;
+  }
+
+  for (const auto& e : block->advertisements) absorb(e);
+  for (const auto& rep : block->replies) {
+    for (const auto& e : rep.entries) absorb(e);
+  }
+
+  // Queries: answer when we own (or know) a match. Answering from cache is
+  // allowed -- like AODV intermediate-node RREP -- and shortens the flood.
+  for (const auto& q : block->queries) {
+    if (q.origin == host_.manet_address()) continue;
+    auto match = find_match(q.type, q.key);
+    if (!match) continue;
+    if (!config_.answer_from_cache &&
+        match->origin != host_.manet_address()) {
+      continue;  // ablation: only the owner replies
+    }
+    ExtensionBlock reply;
+    reply.replies.push_back({q.id, {*match}});
+    // Carry our own registrations along for free cache warming.
+    for (const auto& [k, e] : local_) {
+      if (e.expires > now() &&
+          reply.replies.front().entries.size() <
+              config_.max_adverts_per_packet) {
+        if (e.type != match->type || e.key != match->key) {
+          reply.replies.front().entries.push_back(e);
+        }
+      }
+    }
+    verdict.answer = true;
+    verdict.reply_extension = encode_extension(reply, now());
+    break;
+  }
+  return verdict;
+}
+
+void ManetSlp::absorb(const ServiceEntry& entry) {
+  if (entry.origin == host_.manet_address()) return;
+  if (entry.expires <= now()) return;
+  const Key key{entry.type, entry.key};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Same origin: take newer version / extended lifetime. Different
+    // origin: newer version wins (user re-registered elsewhere).
+    if (entry.version < it->second.version) return;
+    if (entry.version == it->second.version &&
+        entry.expires <= it->second.expires) {
+      return;
+    }
+  }
+  cache_[key] = entry;
+  log_.debug("learned ", entry.to_string());
+  resolve_pending(entry);
+}
+
+void ManetSlp::resolve_pending(const ServiceEntry& entry) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (entry.matches(it->type, it->key)) {
+      it->timeout.cancel();
+      auto cb = std::move(it->callback);
+      it = pending_.erase(it);
+      ++stats_.hits_remote;
+      cb(entry);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace siphoc::slp

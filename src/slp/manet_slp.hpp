@@ -1,0 +1,121 @@
+// MANET SLP: decentralized service location via routing-message
+// piggybacking -- the paper's central mechanism.
+//
+// The daemon implements routing::RoutingHandler and is installed into the
+// local routing protocol as its extension plugin ("we have to load the
+// right plugin for the routing protocol we are using", section 3.1 /
+// Figure 4's second line). Behaviour per protocol:
+//
+//   AODV (reactive plugin):
+//     - local registrations ride on RREP answers and (optionally) HELLOs;
+//     - a cache-miss lookup piggybacks a ServiceQuery on a destination-less
+//       RREQ flood; whichever node owns a match answers with an RREP that
+//       carries the ServiceReply *and establishes the route back to it* --
+//       service resolution and route setup in one round trip (Figure 5);
+//   OLSR (proactive plugin):
+//     - local registrations ride on periodic HELLO and TC messages, so TC's
+//       MPR flooding converges every node's cache with zero extra packets;
+//       lookups are then answered locally.
+#pragma once
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "net/host.hpp"
+#include "routing/protocol.hpp"
+#include "slp/directory.hpp"
+
+namespace siphoc::slp {
+
+struct ManetSlpConfig {
+  /// Which routing packet kinds carry local advertisements.
+  bool advertise_on_hello = false;
+  bool advertise_on_tc = true;
+  bool advertise_on_rrep = true;
+  /// Disables piggybacking entirely (ablation: MANET SLP degenerates to a
+  /// cache that never fills; lookups always miss).
+  bool piggyback_enabled = true;
+  /// Per-packet cap on advertisement records, to bound routing-packet
+  /// growth on nodes with many registrations.
+  std::size_t max_adverts_per_packet = 8;
+  /// Intermediate nodes may answer a flooded query from their cache (like
+  /// AODV intermediate-node RREPs); disable to make only the owner answer
+  /// (ablation: measures what cache answering buys).
+  bool answer_from_cache = true;
+  Duration default_lookup_timeout = seconds(4);
+
+  /// Reactive plugin defaults (AODV).
+  static ManetSlpConfig for_aodv() {
+    ManetSlpConfig c;
+    c.advertise_on_hello = false;  // on-demand resolution carries the state
+    c.advertise_on_tc = false;
+    c.advertise_on_rrep = true;
+    return c;
+  }
+  /// Proactive plugin defaults (OLSR).
+  static ManetSlpConfig for_olsr() {
+    ManetSlpConfig c;
+    c.advertise_on_hello = true;
+    c.advertise_on_tc = true;
+    c.advertise_on_rrep = false;
+    return c;
+  }
+};
+
+class ManetSlp final : public Directory, public routing::RoutingHandler {
+ public:
+  /// Installs itself as the protocol's routing handler.
+  ManetSlp(net::Host& host, routing::Protocol& protocol, ManetSlpConfig config);
+  ~ManetSlp() override;
+
+  // --- Directory ---------------------------------------------------------
+  void register_service(std::string type, std::string key, std::string value,
+                        Duration lifetime) override;
+  void deregister_service(const std::string& type,
+                          const std::string& key) override;
+  void lookup(std::string type, std::string key, Duration timeout,
+              LookupCallback callback) override;
+  std::vector<ServiceEntry> snapshot() const override;
+  const DirectoryStats& stats() const override { return stats_; }
+
+  // --- RoutingHandler ------------------------------------------------------
+  Bytes on_outgoing(const routing::PacketInfo& info) override;
+  routing::HandlerVerdict on_incoming(const routing::PacketInfo& info,
+                                      std::span<const std::uint8_t> extension,
+                                      net::Address from) override;
+
+  /// Learned-entry count (tests).
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (type, key)
+
+  TimePoint now() const { return host_.sim().now(); }
+  std::optional<ServiceEntry> find_match(const std::string& type,
+                                         const std::string& key) const;
+  void absorb(const ServiceEntry& entry);
+  void resolve_pending(const ServiceEntry& entry);
+  bool should_advertise(const routing::PacketInfo& info) const;
+
+  struct PendingLookup {
+    std::uint32_t id = 0;
+    std::string type;
+    std::string key;
+    LookupCallback callback;
+    sim::EventHandle timeout;
+  };
+
+  net::Host& host_;
+  routing::Protocol& protocol_;
+  ManetSlpConfig config_;
+  Logger log_;
+
+  std::map<Key, ServiceEntry> local_;  // authoritative registrations
+  std::map<Key, ServiceEntry> cache_;  // learned from the network
+  std::vector<PendingLookup> pending_;
+  std::uint32_t next_query_id_ = 1;
+  std::uint32_t version_counter_ = 1;
+  DirectoryStats stats_;
+};
+
+}  // namespace siphoc::slp

@@ -1,0 +1,136 @@
+#include "slp/service.hpp"
+
+namespace siphoc::slp {
+
+namespace {
+
+enum class RecordType : std::uint8_t {
+  kAdvertisement = 1,
+  kQuery = 2,
+  kReply = 3,
+};
+
+void encode_entry(BufferWriter& w, const ServiceEntry& e, TimePoint now) {
+  w.str(e.type);
+  w.str(e.key);
+  w.str(e.value);
+  w.u32(e.origin.value());
+  w.u32(e.version);
+  const auto remaining = e.expires > now ? e.expires - now : Duration::zero();
+  w.u32(static_cast<std::uint32_t>(to_millis(remaining)));
+}
+
+Result<ServiceEntry> decode_entry(BufferReader& r, TimePoint now) {
+  ServiceEntry e;
+  auto type = r.str();
+  if (!type) return type.error();
+  e.type = std::move(*type);
+  auto key = r.str();
+  if (!key) return key.error();
+  e.key = std::move(*key);
+  auto value = r.str();
+  if (!value) return value.error();
+  e.value = std::move(*value);
+  auto origin = r.u32();
+  if (!origin) return origin.error();
+  e.origin = net::Address{*origin};
+  auto version = r.u32();
+  if (!version) return version.error();
+  e.version = *version;
+  auto lifetime = r.u32();
+  if (!lifetime) return lifetime.error();
+  e.expires = now + milliseconds(*lifetime);
+  return e;
+}
+
+}  // namespace
+
+std::string ServiceEntry::to_string() const {
+  return "service:" + type + ":" + key + " -> " + value + " (origin " +
+         origin.to_string() + ")";
+}
+
+Bytes encode_extension(const ExtensionBlock& block, TimePoint now) {
+  Bytes out;
+  if (block.empty()) return out;
+  BufferWriter w(out);
+  const auto records = block.advertisements.size() + block.queries.size() +
+                       block.replies.size();
+  w.u8(static_cast<std::uint8_t>(records));
+  for (const auto& e : block.advertisements) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kAdvertisement));
+    encode_entry(w, e, now);
+  }
+  for (const auto& q : block.queries) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kQuery));
+    w.u32(q.id);
+    w.u32(q.origin.value());
+    w.str(q.type);
+    w.str(q.key);
+  }
+  for (const auto& rep : block.replies) {
+    w.u8(static_cast<std::uint8_t>(RecordType::kReply));
+    w.u32(rep.id);
+    w.u8(static_cast<std::uint8_t>(rep.entries.size()));
+    for (const auto& e : rep.entries) encode_entry(w, e, now);
+  }
+  return out;
+}
+
+Result<ExtensionBlock> decode_extension(std::span<const std::uint8_t> data,
+                                        TimePoint now) {
+  ExtensionBlock block;
+  if (data.empty()) return block;
+  BufferReader r(data);
+  auto count = r.u8();
+  if (!count) return count.error();
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    auto rec_type = r.u8();
+    if (!rec_type) return rec_type.error();
+    switch (static_cast<RecordType>(*rec_type)) {
+      case RecordType::kAdvertisement: {
+        auto e = decode_entry(r, now);
+        if (!e) return e.error();
+        block.advertisements.push_back(std::move(*e));
+        break;
+      }
+      case RecordType::kQuery: {
+        ServiceQuery q;
+        auto id = r.u32();
+        if (!id) return id.error();
+        q.id = *id;
+        auto origin = r.u32();
+        if (!origin) return origin.error();
+        q.origin = net::Address{*origin};
+        auto type = r.str();
+        if (!type) return type.error();
+        q.type = std::move(*type);
+        auto key = r.str();
+        if (!key) return key.error();
+        q.key = std::move(*key);
+        block.queries.push_back(std::move(q));
+        break;
+      }
+      case RecordType::kReply: {
+        ServiceReply rep;
+        auto id = r.u32();
+        if (!id) return id.error();
+        rep.id = *id;
+        auto n = r.u8();
+        if (!n) return n.error();
+        for (std::uint8_t j = 0; j < *n; ++j) {
+          auto e = decode_entry(r, now);
+          if (!e) return e.error();
+          rep.entries.push_back(std::move(*e));
+        }
+        block.replies.push_back(std::move(rep));
+        break;
+      }
+      default:
+        return fail("slp: unknown record type " + std::to_string(*rec_type));
+    }
+  }
+  return block;
+}
+
+}  // namespace siphoc::slp

@@ -1,0 +1,77 @@
+// Service model and the piggyback TLV format.
+//
+// SLP entries are (type, key, value) triples with a lifetime:
+//   type  "sip-contact"  key "alice@voicehoc.ch"  value "10.0.0.1:5060"
+//   type  "gateway"      key "default"            value "10.0.0.3:5100"
+// -- exactly the state the paper shows in Figure 4 ("the MANET SLP process
+// after the proxy has advertised its contact address").
+//
+// Three record kinds travel inside routing-packet extension blocks:
+//   advertisement  (unsolicited state, piggybacked on HELLO/TC/RREP)
+//   query          (piggybacked on a destination-less AODV RREQ flood)
+//   reply          (piggybacked on the answering RREP)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "net/address.hpp"
+
+namespace siphoc::slp {
+
+/// Well-known service types of the deployment.
+inline constexpr std::string_view kSipContactService = "sip-contact";
+inline constexpr std::string_view kGatewayService = "gateway";
+
+struct ServiceEntry {
+  std::string type;
+  std::string key;
+  std::string value;
+  net::Address origin;    // node that owns the registration
+  std::uint32_t version = 0;  // bumped on re-registration; newer wins
+  TimePoint expires{};
+
+  /// "service:<type>:<key> -> <value>" (Figure 4 rendering).
+  std::string to_string() const;
+
+  bool matches(std::string_view want_type, std::string_view want_key) const {
+    return type == want_type && (want_key.empty() || key == want_key);
+  }
+};
+
+struct ServiceQuery {
+  std::uint32_t id = 0;
+  net::Address origin;
+  std::string type;
+  std::string key;  // empty = any key of this type (gateway discovery)
+};
+
+struct ServiceReply {
+  std::uint32_t id = 0;
+  std::vector<ServiceEntry> entries;
+};
+
+/// One extension block = any mix of records.
+struct ExtensionBlock {
+  std::vector<ServiceEntry> advertisements;
+  std::vector<ServiceQuery> queries;
+  std::vector<ServiceReply> replies;
+
+  bool empty() const {
+    return advertisements.empty() && queries.empty() && replies.empty();
+  }
+};
+
+/// Serializes a block; lifetimes are encoded relative to `now` as
+/// milliseconds-remaining (absolute virtual time is node-local).
+Bytes encode_extension(const ExtensionBlock& block, TimePoint now);
+
+/// Parses a block; remaining lifetimes are rebased onto `now`.
+Result<ExtensionBlock> decode_extension(std::span<const std::uint8_t> data,
+                                        TimePoint now);
+
+}  // namespace siphoc::slp

@@ -1,0 +1,178 @@
+// Unit tests: common utilities (bytes, strings, result, time, rng).
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "common/result.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace siphoc {
+namespace {
+
+TEST(BytesTest, RoundTripPrimitives) {
+  Bytes buf;
+  BufferWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ull);
+  w.str("hello");
+
+  BufferReader r(buf);
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0102030405060708ull);
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  Bytes buf;
+  BufferWriter w(buf);
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(BytesTest, UnderrunIsError) {
+  Bytes buf = {0x01};
+  BufferReader r(buf);
+  EXPECT_FALSE(r.u32());
+  // Failed read must not consume.
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_TRUE(r.u8());
+}
+
+TEST(BytesTest, StringUnderrun) {
+  Bytes buf;
+  BufferWriter w(buf);
+  w.u16(100);  // claims 100 bytes, provides none
+  BufferReader r(buf);
+  EXPECT_FALSE(r.str());
+}
+
+TEST(BytesTest, HexDumpShape) {
+  Bytes data(20, 0x41);  // 'A'
+  const std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAA"), std::string::npos);
+  EXPECT_NE(dump.find("0010"), std::string::npos);  // second row offset
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\thi"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitTrimmedDropsEmpty) {
+  const auto parts = split_trimmed(" a ; ; b ", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Via", "VIA"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("via", "vi"));
+  EXPECT_TRUE(istarts_with("SIP/2.0/UDP", "sip/2.0"));
+  EXPECT_EQ(to_lower("CSeq"), "cseq");
+}
+
+TEST(StringsTest, SplitKv) {
+  const auto [k, v] = split_kv(" branch = z9hG4bK77 ", '=');
+  EXPECT_EQ(k, "branch");
+  EXPECT_EQ(v, "z9hG4bK77");
+  const auto [k2, v2] = split_kv("lr", '=');
+  EXPECT_EQ(k2, "lr");
+  EXPECT_EQ(v2, "");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = fail("boom", 7);
+  EXPECT_FALSE(err);
+  EXPECT_EQ(err.error().message, "boom");
+  EXPECT_EQ(err.error().code, 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, VoidResult) {
+  Result<void> ok;
+  EXPECT_TRUE(ok);
+  Result<void> err = fail("nope");
+  EXPECT_FALSE(err);
+  EXPECT_EQ(err.error().message, "nope");
+}
+
+TEST(TimeTest, Formatting) {
+  const TimePoint t = TimePoint{} + seconds(12) + microseconds(34567);
+  EXPECT_EQ(format_time(t), "12.034567s");
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(seconds(2)), 2000.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+    const auto n = rng.uniform_int(5, 9);
+    EXPECT_GE(n, 5u);
+    EXPECT_LE(n, 9u);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(3);
+  double total = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    total += to_seconds(rng.exponential(seconds(2)));
+  }
+  EXPECT_NEAR(total / samples, 2.0, 0.1);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.uniform() != child.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace siphoc

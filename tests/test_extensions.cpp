@@ -1,0 +1,219 @@
+// Tests: the two extensions beyond the paper's demo --
+//   * text messaging over the MANET (SIP MESSAGE, RFC 3428; the intro's
+//     "wireless phone and text communicator"), and
+//   * the §3.2 open-issue fix: per-domain provisioning of provider
+//     outbound proxies so outbound-proxy-requiring providers work.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace siphoc {
+namespace {
+
+TEST(TextMessagingTest, TextAcrossMultihopManet) {
+  scenario::Options o;
+  o.nodes = 4;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  auto& bob = bed.add_phone(3, "bob");
+  bed.settle(seconds(3));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+
+  std::string received_text;
+  std::string received_from;
+  voip::SoftPhoneEvents events;
+  events.on_text = [&](const sip::Uri& from, const std::string& text) {
+    received_from = from.aor();
+    received_text = text;
+  };
+  bob.set_events(std::move(events));
+
+  bool delivered = false;
+  int status = 0;
+  alice.send_text("bob@voicehoc.ch", "meet at the north entrance",
+                  [&](bool ok, int s) {
+                    delivered = ok;
+                    status = s;
+                  });
+  bed.run_for(seconds(5));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(received_text, "meet at the north entrance");
+  EXPECT_EQ(received_from, "alice@voicehoc.ch");
+}
+
+TEST(TextMessagingTest, TextToUnknownUserFails) {
+  scenario::Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  bed.settle(seconds(2));
+  bed.register_and_wait(alice);
+
+  bool done = false, ok = true;
+  int status = 0;
+  alice.send_text("ghost@voicehoc.ch", "anyone there?", [&](bool o2, int s) {
+    done = true;
+    ok = o2;
+    status = s;
+  });
+  bed.run_for(seconds(10));  // SLP miss (4 s) then 404
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(status, 404);
+}
+
+TEST(TextMessagingTest, TextBothDirectionsConcurrently) {
+  scenario::Options o;
+  o.nodes = 3;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  auto& bob = bed.add_phone(2, "bob");
+  bed.settle(seconds(3));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+
+  int alice_got = 0, bob_got = 0;
+  voip::SoftPhoneEvents ae, be;
+  ae.on_text = [&](const sip::Uri&, const std::string&) { ++alice_got; };
+  be.on_text = [&](const sip::Uri&, const std::string&) { ++bob_got; };
+  alice.set_events(std::move(ae));
+  bob.set_events(std::move(be));
+
+  for (int i = 0; i < 3; ++i) {
+    alice.send_text("bob@voicehoc.ch", "ping " + std::to_string(i));
+    bob.send_text("alice@voicehoc.ch", "pong " + std::to_string(i));
+  }
+  bed.run_for(seconds(5));
+  EXPECT_EQ(alice_got, 3);
+  EXPECT_EQ(bob_got, 3);
+}
+
+TEST(OutboundProxyFixTest, ProvisionedProviderProxyMakesPolyphoneWork) {
+  scenario::Options o;
+  o.nodes = 3;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  auto& provider = bed.add_provider("polyphone.ethz.ch",
+                                    /*require_outbound_proxy=*/true);
+  bed.start();
+  bed.make_gateway(0);
+  bed.settle(seconds(12));
+  ASSERT_TRUE(bed.stack(2).internet_available());
+
+  // Provision node 2's SIPHoc proxy with the provider's outbound proxy --
+  // the fix for the paper's open issue.
+  const auto ob = bed.provider_outbound_proxy("polyphone.ethz.ch");
+  ASSERT_TRUE(ob);
+  // Rebuild the phone's node proxy config is baked into the stack; instead
+  // provision through the running proxy's config surface: the testbed
+  // stack was built without it, so exercise the path via a phone whose
+  // stack has the mapping -- build a second bed with the option set.
+  scenario::Options o2 = o;
+  o2.stack.proxy.provider_outbound_proxies["polyphone.ethz.ch"] = *ob;
+  scenario::Testbed bed2(o2);
+  auto& provider2 = bed2.add_provider("polyphone.ethz.ch", true);
+  bed2.start();
+  bed2.make_gateway(0);
+  bed2.settle(seconds(12));
+  ASSERT_TRUE(bed2.stack(2).internet_available());
+
+  const auto ob2 = bed2.provider_outbound_proxy("polyphone.ethz.ch");
+  ASSERT_TRUE(ob2);
+  // The mapping provisioned above pointed at bed1's endpooint; fix it by
+  // asserting both beds allocate identical internet addressing (they do:
+  // same construction order), so the endpoint matches.
+  ASSERT_EQ(*ob, *ob2);
+
+  auto& phone = bed2.add_phone(2, "carol", "polyphone.ethz.ch");
+  bool done = false, ok = false;
+  int status = 0;
+  voip::SoftPhoneEvents events;
+  events.on_registered = [&](bool success, int s) {
+    done = true;
+    ok = success;
+    status = s;
+  };
+  phone.set_events(std::move(events));
+  phone.power_on();
+  const auto deadline = bed2.sim().now() + seconds(30);
+  while (!done && bed2.sim().now() < deadline) bed2.run_for(milliseconds(20));
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok) << "status " << status;
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(provider2.binding_count(), 1u);
+  (void)provider;
+}
+
+TEST(OutboundProxyFixTest, WithoutProvisioningStillFails403) {
+  scenario::Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  bed.add_provider("polyphone.ethz.ch", true);
+  bed.start();
+  bed.make_gateway(0);
+  bed.settle(seconds(10));
+
+  auto& phone = bed.add_phone(1, "carol", "polyphone.ethz.ch");
+  bool done = false, ok = true;
+  int status = 0;
+  voip::SoftPhoneEvents events;
+  events.on_registered = [&](bool success, int s) {
+    done = true;
+    ok = success;
+    status = s;
+  };
+  phone.set_events(std::move(events));
+  phone.power_on();
+  const auto deadline = bed.sim().now() + seconds(10);
+  while (!done && bed.sim().now() < deadline) bed.run_for(milliseconds(20));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(status, 403);
+}
+
+TEST(OutboundProxyFixTest, CallThroughProvisionedProviderProxy) {
+  // Full call between a MANET user and an Internet user of an
+  // outbound-proxy-requiring provider.
+  scenario::Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed pre(o);  // discover the ob endpoint deterministically
+  pre.add_provider("polyphone.ethz.ch", true);
+  const auto ob = pre.provider_outbound_proxy("polyphone.ethz.ch");
+  ASSERT_TRUE(ob);
+
+  scenario::Options o2 = o;
+  o2.stack.proxy.provider_outbound_proxies["polyphone.ethz.ch"] = *ob;
+  scenario::Testbed bed(o2);
+  bed.add_provider("polyphone.ethz.ch", true);
+  auto& friend_host = bed.add_internet_host("friend");
+  voip::SoftPhoneConfig fc;
+  fc.username = "friend";
+  fc.domain = "polyphone.ethz.ch";
+  fc.outbound_proxy = *bed.provider_outbound_proxy("polyphone.ethz.ch");
+  voip::SoftPhone friend_phone(friend_host, fc);
+
+  bed.start();
+  bed.make_gateway(0);
+  auto& carol = bed.add_phone(1, "carol", "polyphone.ethz.ch");
+  bed.settle(seconds(10));
+  friend_phone.power_on();
+  ASSERT_TRUE(bed.register_and_wait(carol, seconds(20)));
+
+  const auto result =
+      bed.call_and_wait(carol, "friend@polyphone.ethz.ch", seconds(20));
+  EXPECT_TRUE(result.established);
+}
+
+}  // namespace
+}  // namespace siphoc

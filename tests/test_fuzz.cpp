@@ -1,0 +1,174 @@
+// Property / fuzz tests: every parser in the system must reject or
+// tolerate arbitrary and mutated input without crashing, and round-trip
+// identity must hold for arbitrary valid values. Network input is hostile
+// input: a MANET accepts packets from anyone in radio range.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "net/packet.hpp"
+#include "rtp/rtp.hpp"
+#include "sip/message.hpp"
+#include "sip/sdp.hpp"
+#include "slp/service.hpp"
+
+namespace siphoc {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.uniform_int(0, static_cast<std::uint32_t>(max_len)));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+std::string mutate(std::string text, Rng& rng) {
+  if (text.empty()) return text;
+  const int edits = static_cast<int>(rng.uniform_int(1, 8));
+  for (int i = 0; i < edits; ++i) {
+    const auto pos = rng.uniform_int(0, static_cast<std::uint32_t>(
+                                            text.size() - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // flip a byte
+        text[pos] = static_cast<char>(rng.uniform_int(1, 255));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, rng.uniform_int(1, 16));
+        break;
+      default:  // duplicate a span
+        text.insert(pos, text.substr(pos, rng.uniform_int(1, 16)));
+        break;
+    }
+    if (text.empty()) break;
+  }
+  return text;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, SipParserSurvivesRandomText) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Bytes junk = random_bytes(rng, 512);
+    (void)sip::Message::parse(to_string(junk));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, SipParserSurvivesMutatedMessages) {
+  Rng rng(GetParam() ^ 0xabcd);
+  const std::string valid =
+      "INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK1\r\n"
+      "From: <sip:alice@voicehoc.ch>;tag=1\r\n"
+      "To: <sip:bob@voicehoc.ch>\r\n"
+      "Call-ID: x@y\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "Contact: <sip:alice@10.0.0.1:5070>\r\n"
+      "Content-Length: 3\r\n"
+      "\r\n"
+      "sdp";
+  for (int i = 0; i < 500; ++i) {
+    auto m = sip::Message::parse(mutate(valid, rng));
+    if (m) {
+      // Whatever parsed must serialize and re-parse without crashing.
+      (void)sip::Message::parse(m->serialize());
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, SipRoundTripIsStable) {
+  // serialize(parse(x)) must be a fixed point: parse it again and the
+  // serialized form must not change (idempotent canonicalization).
+  Rng rng(GetParam() ^ 0x1234);
+  const std::string valid =
+      "SIP/2.0 180 Ringing\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.2:5060;branch=z9hG4bK2\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK1;received=10.0.0.9\r\n"
+      "From: \"A\" <sip:a@x>;tag=11\r\n"
+      "To: <sip:b@x>;tag=22\r\n"
+      "Call-ID: z@x\r\n"
+      "CSeq: 7 INVITE\r\n"
+      "\r\n";
+  auto m1 = sip::Message::parse(valid);
+  ASSERT_TRUE(m1);
+  const std::string s1 = m1->serialize();
+  auto m2 = sip::Message::parse(s1);
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(m2->serialize(), s1);
+}
+
+TEST_P(FuzzSeeds, SdpParserSurvives) {
+  Rng rng(GetParam() ^ 0x5678);
+  const std::string valid =
+      sip::Sdp::audio(net::Address(10, 0, 0, 1), 8000, 1).serialize();
+  for (int i = 0; i < 500; ++i) {
+    (void)sip::Sdp::parse(mutate(valid, rng));
+    (void)sip::Sdp::parse(to_string(random_bytes(rng, 256)));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, SlpExtensionDecoderSurvives) {
+  Rng rng(GetParam() ^ 0x9abc);
+  // Mutated valid blocks.
+  slp::ExtensionBlock block;
+  slp::ServiceEntry e;
+  e.type = "sip-contact";
+  e.key = "alice@voicehoc.ch";
+  e.value = "10.0.0.1:5060";
+  e.origin = net::Address(10, 0, 0, 1);
+  e.expires = TimePoint{} + seconds(60);
+  block.advertisements.push_back(e);
+  block.queries.push_back({1, net::Address(10, 0, 0, 2), "gateway", ""});
+  const Bytes valid = slp::encode_extension(block, TimePoint{});
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = valid;
+    const auto pos =
+        rng.uniform_int(0, static_cast<std::uint32_t>(mutated.size() - 1));
+    mutated[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    (void)slp::decode_extension(mutated, TimePoint{});
+    (void)slp::decode_extension(random_bytes(rng, 128), TimePoint{});
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, DatagramDecoderSurvives) {
+  Rng rng(GetParam() ^ 0xdef0);
+  for (int i = 0; i < 1000; ++i) {
+    (void)net::Datagram::decode(random_bytes(rng, 96));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, RtpDecoderSurvives) {
+  Rng rng(GetParam() ^ 0x4242);
+  for (int i = 0; i < 1000; ++i) {
+    (void)rtp::RtpPacket::decode(random_bytes(rng, 200));
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeeds, UriRoundTripProperty) {
+  Rng rng(GetParam() ^ 0x7777);
+  const char* users[] = {"alice", "b0b", "x.y_z", ""};
+  const char* hosts[] = {"voicehoc.ch", "10.0.0.1", "a-b.example.org"};
+  for (int i = 0; i < 200; ++i) {
+    sip::Uri uri;
+    uri.user = users[rng.uniform_int(0, 3)];
+    uri.host = hosts[rng.uniform_int(0, 2)];
+    if (rng.chance(0.5)) {
+      uri.port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    }
+    if (rng.chance(0.5)) uri.params["transport"] = "udp";
+    if (rng.chance(0.3)) uri.params["lr"] = "";
+    auto parsed = sip::Uri::parse(uri.to_string());
+    ASSERT_TRUE(parsed) << uri.to_string();
+    EXPECT_EQ(*parsed, uri);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace siphoc

@@ -1,0 +1,128 @@
+// Tests: the provider outbound-proxy element (stateless relay) in
+// isolation -- request relaying, Via handling, loop guard, stray drops.
+#include <gtest/gtest.h>
+
+#include "sip/outbound_proxy.hpp"
+
+namespace siphoc::sip {
+namespace {
+
+class ObProxyFixture : public ::testing::Test {
+ protected:
+  ObProxyFixture()
+      : sim_(29),
+        internet_(sim_, milliseconds(5)),
+        client_host_(sim_, 0, "client"),
+        proxy_host_(sim_, 1, "obproxy"),
+        server_host_(sim_, 2, "registrar") {
+    client_host_.attach_wired(internet_, net::Address(192, 0, 2, 1));
+    proxy_host_.attach_wired(internet_, net::Address(192, 0, 2, 2));
+    server_host_.attach_wired(internet_, net::Address(192, 0, 2, 3));
+    OutboundProxyConfig config;
+    config.next_hop = {net::Address(192, 0, 2, 3), 5060};
+    proxy_ = std::make_unique<OutboundProxy>(proxy_host_, config);
+
+    client_host_.bind(5060, [this](const net::Datagram& d,
+                                   const net::RxInfo&) {
+      if (auto m = Message::parse(to_string(d.payload))) {
+        client_rx_.push_back(std::move(*m));
+      }
+    });
+    server_host_.bind(5060, [this](const net::Datagram& d,
+                                   const net::RxInfo&) {
+      if (auto m = Message::parse(to_string(d.payload))) {
+        server_rx_.push_back(std::move(*m));
+      }
+    });
+  }
+
+  Message make_request() {
+    Message m = Message::request("REGISTER", *Uri::parse("sip:auth.org"));
+    m.add_header("via", "SIP/2.0/UDP 192.0.2.1:5060;branch=z9hG4bKcli");
+    m.add_header("from", "<sip:carol@auth.org>;tag=1");
+    m.add_header("to", "<sip:carol@auth.org>");
+    m.add_header("call-id", "x@client");
+    m.add_header("cseq", "1 REGISTER");
+    return m;
+  }
+
+  void send_to_proxy(const Message& m) {
+    client_host_.send_udp(5060, {net::Address(192, 0, 2, 2), 5060},
+                          to_bytes(m.serialize()));
+  }
+
+  sim::Simulator sim_;
+  net::Internet internet_;
+  net::Host client_host_, proxy_host_, server_host_;
+  std::unique_ptr<OutboundProxy> proxy_;
+  std::vector<Message> client_rx_, server_rx_;
+};
+
+TEST_F(ObProxyFixture, RelaysRequestWithViaAndDecrementsMaxForwards) {
+  send_to_proxy(make_request());
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(server_rx_.size(), 1u);
+  const auto& relayed = server_rx_.front();
+  EXPECT_EQ(relayed.method(), "REGISTER");
+  EXPECT_EQ(relayed.vias().size(), 2u);
+  EXPECT_EQ(relayed.top_via()->host, "192.0.2.2");
+  EXPECT_EQ(relayed.max_forwards(), 69);
+  EXPECT_EQ(proxy_->stats().requests_relayed, 1u);
+}
+
+TEST_F(ObProxyFixture, ResponseRetracesToClient) {
+  send_to_proxy(make_request());
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(server_rx_.size(), 1u);
+  // The registrar answers 200 via the proxy's Via.
+  Message ok = Message::response_to(server_rx_.front(), 200);
+  server_host_.send_udp(5060, {net::Address(192, 0, 2, 2), 5060},
+                        to_bytes(ok.serialize()));
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(client_rx_.size(), 1u);
+  EXPECT_EQ(client_rx_.front().status(), 200);
+  // The proxy's Via was popped; only the client's remains.
+  EXPECT_EQ(client_rx_.front().vias().size(), 1u);
+  EXPECT_EQ(proxy_->stats().responses_relayed, 1u);
+}
+
+TEST_F(ObProxyFixture, MaxForwardsZeroRejected483) {
+  Message m = make_request();
+  m.set_max_forwards(0);
+  send_to_proxy(m);
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(server_rx_.empty());
+  ASSERT_EQ(client_rx_.size(), 1u);
+  EXPECT_EQ(client_rx_.front().status(), 483);
+  EXPECT_EQ(proxy_->stats().dropped, 1u);
+}
+
+TEST_F(ObProxyFixture, ResponseWithForeignTopViaDropped) {
+  Message stray = Message::parse(
+      "SIP/2.0 200 OK\r\n"
+      "Via: SIP/2.0/UDP 192.0.2.99:5060;branch=z9hG4bKforeign\r\n"
+      "CSeq: 1 REGISTER\r\n"
+      "\r\n").value();
+  server_host_.send_udp(5060, {net::Address(192, 0, 2, 2), 5060},
+                        to_bytes(stray.serialize()));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(client_rx_.empty());
+  EXPECT_EQ(proxy_->stats().dropped, 1u);
+}
+
+TEST_F(ObProxyFixture, ResponseWithOnlyOurViaDropped) {
+  // After popping our Via there is nowhere to send the response.
+  Message orphan = Message::parse(
+      "SIP/2.0 200 OK\r\n"
+      "Via: SIP/2.0/UDP 192.0.2.2:5060;branch=z9hG4bKob1\r\n"
+      "CSeq: 1 REGISTER\r\n"
+      "\r\n").value();
+  server_host_.send_udp(5060, {net::Address(192, 0, 2, 2), 5060},
+                        to_bytes(orphan.serialize()));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(client_rx_.empty());
+  EXPECT_EQ(proxy_->stats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace siphoc::sip

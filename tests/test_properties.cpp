@@ -1,0 +1,197 @@
+// Property tests over randomized topologies: the routing invariants that
+// every higher layer silently depends on.
+//
+//   P1 (loop freedom): walking FIB next-hops from any node toward any
+//       destination never visits a node twice.
+//   P2 (path validity): every FIB walk that claims reachability actually
+//       terminates at the destination within N hops, and each step is a
+//       currently-connected radio link.
+//   P3 (MPR coverage): every strict 2-hop neighbor of an OLSR node is
+//       covered by at least one of its MPRs.
+#include <gtest/gtest.h>
+
+#include "routing/aodv.hpp"
+#include "routing/olsr.hpp"
+
+namespace siphoc::routing {
+namespace {
+
+using net::Address;
+
+struct RandomNet {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::RadioMedium> medium;
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<Protocol>> daemons;
+
+  RandomNet(std::size_t n, bool use_olsr, std::uint64_t seed) {
+    sim = std::make_unique<sim::Simulator>(seed);
+    medium = std::make_unique<net::RadioMedium>(*sim, net::RadioConfig{});
+    Rng placement(seed ^ 0x51c0ull);
+    // Dense-ish area keeps the graph connected for most seeds.
+    const double side = 60.0 * std::sqrt(static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<net::Host>(
+          *sim, static_cast<net::NodeId>(i), "n" + std::to_string(i)));
+      hosts.back()->attach_radio(
+          *medium,
+          Address{net::kManetPrefix.value() + static_cast<std::uint32_t>(i) +
+                  1},
+          std::make_shared<net::StaticMobility>(net::Position{
+              placement.uniform(0, side), placement.uniform(0, side)}));
+      if (use_olsr) {
+        daemons.push_back(std::make_unique<Olsr>(*hosts.back()));
+      } else {
+        daemons.push_back(std::make_unique<Aodv>(*hosts.back()));
+      }
+      daemons.back()->start();
+    }
+  }
+
+  Address addr(std::size_t i) const {
+    return Address{net::kManetPrefix.value() +
+                   static_cast<std::uint32_t>(i) + 1};
+  }
+  std::size_t index_of(Address a) const {
+    return (a.value() & 0xff) - 1;
+  }
+
+  /// Walks FIB next-hops from `from` toward `to`. Returns hop count, or -1
+  /// on no route / loop / dead link.
+  int walk(std::size_t from, std::size_t to) {
+    std::set<std::size_t> visited;
+    std::size_t at = from;
+    int hops = 0;
+    while (at != to) {
+      if (!visited.insert(at).second) return -1;  // loop!
+      const auto route = hosts[at]->lookup_route(addr(to));
+      if (!route || !route->next_hop) return -1;
+      const std::size_t next = index_of(*route->next_hop);
+      if (next >= hosts.size()) return -1;
+      // The claimed link must physically exist right now.
+      if (!medium->connected(static_cast<net::NodeId>(at),
+                             static_cast<net::NodeId>(next))) {
+        return -1;
+      }
+      at = next;
+      if (++hops > static_cast<int>(hosts.size())) return -1;
+    }
+    return hops;
+  }
+
+  bool reachable_physically(std::size_t from, std::size_t to) {
+    // BFS over actual radio connectivity.
+    std::set<std::size_t> seen{from};
+    std::vector<std::size_t> frontier{from};
+    while (!frontier.empty()) {
+      std::vector<std::size_t> next;
+      for (const auto u : frontier) {
+        for (std::size_t v = 0; v < hosts.size(); ++v) {
+          if (!seen.contains(v) &&
+              medium->connected(static_cast<net::NodeId>(u),
+                                static_cast<net::NodeId>(v))) {
+            seen.insert(v);
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    return seen.contains(to);
+  }
+};
+
+class RoutingProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperties, AodvPathsAreLoopFreeAndValid) {
+  RandomNet net(12, /*use_olsr=*/false, GetParam());
+  net.sim->run_for(seconds(3));
+
+  // Trigger discoveries between several random pairs by sending probes.
+  Rng picks(GetParam() ^ 0xbeef);
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t from = picks.uniform_int(0, 11);
+    const std::size_t to = picks.uniform_int(0, 11);
+    if (from == to) continue;
+    net.hosts[from]->send_udp(9000, {net.addr(to), 9000}, to_bytes("p"));
+    net.sim->run_for(seconds(4));
+    if (!net.reachable_physically(from, to)) continue;  // partitioned seed
+    const int hops = net.walk(from, to);
+    // Either no route was (yet) established, or it is loop-free and valid.
+    if (hops >= 0) {
+      EXPECT_GE(hops, 1);
+      EXPECT_LE(hops, 12);
+    }
+    // A fresh successful delivery must coincide with a walkable path --
+    // checked immediately, before AODV's active-route lifetime can expire.
+    bool delivered = false;
+    net.hosts[to]->bind(9001, [&](const net::Datagram&, const net::RxInfo&) {
+      delivered = true;
+    });
+    net.hosts[from]->send_udp(9001, {net.addr(to), 9001}, to_bytes("q"));
+    const TimePoint deadline = net.sim->now() + seconds(5);
+    while (!delivered && net.sim->now() < deadline) {
+      net.sim->run_for(milliseconds(10));
+    }
+    net.hosts[to]->unbind(9001);
+    if (delivered) {
+      EXPECT_GE(net.walk(from, to), 1)
+          << "delivered but FIB walk failed: n" << from << " -> n" << to;
+    }
+  }
+}
+
+TEST_P(RoutingProperties, OlsrRoutesLoopFreeAndCompleteOnConnectedGraph) {
+  RandomNet net(10, /*use_olsr=*/true, GetParam());
+  net.sim->run_for(seconds(25));
+
+  for (std::size_t from = 0; from < 10; ++from) {
+    for (std::size_t to = 0; to < 10; ++to) {
+      if (from == to) continue;
+      if (!net.reachable_physically(from, to)) continue;
+      const int hops = net.walk(from, to);
+      EXPECT_GE(hops, 1) << "n" << from << " cannot walk to n" << to;
+      EXPECT_LE(hops, 10);
+    }
+  }
+}
+
+TEST_P(RoutingProperties, OlsrMprsCoverTwoHopNeighborhood) {
+  RandomNet net(10, /*use_olsr=*/true, GetParam());
+  net.sim->run_for(seconds(25));
+
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto* olsr = dynamic_cast<Olsr*>(net.daemons[i].get());
+    ASSERT_NE(olsr, nullptr);
+    const auto neighbors = olsr->symmetric_neighbors();
+    const auto& mprs = olsr->mpr_set();
+    // Strict two-hop nodes (by physical connectivity among converged
+    // symmetric links).
+    for (std::size_t t = 0; t < 10; ++t) {
+      if (t == i) continue;
+      const Address t_addr = net.addr(t);
+      if (neighbors.contains(t_addr)) continue;
+      // Is t physically adjacent to one of our symmetric neighbors?
+      bool is_two_hop = false;
+      bool covered = false;
+      for (const auto& n : neighbors) {
+        const std::size_t n_idx = net.index_of(n);
+        if (net.medium->connected(static_cast<net::NodeId>(n_idx),
+                                  static_cast<net::NodeId>(t))) {
+          is_two_hop = true;
+          if (mprs.contains(n)) covered = true;
+        }
+      }
+      if (is_two_hop) {
+        EXPECT_TRUE(covered)
+            << "node n" << i << ": two-hop n" << t << " uncovered by MPRs";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperties,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace siphoc::routing

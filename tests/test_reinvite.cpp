@@ -1,0 +1,127 @@
+// Tests: mid-call media renegotiation (re-INVITE).
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "sip/registrar.hpp"
+
+namespace siphoc {
+namespace {
+
+class ReinviteFixture : public ::testing::Test {
+ protected:
+  ReinviteFixture()
+      : sim_(23),
+        internet_(sim_, milliseconds(10)),
+        provider_host_(sim_, 100, "provider"),
+        alice_host_(sim_, 0, "alice-pc"),
+        bob_host_(sim_, 1, "bob-pc") {
+    provider_host_.attach_wired(internet_, net::Address(192, 0, 2, 10));
+    alice_host_.attach_wired(internet_, net::Address(192, 0, 2, 1));
+    bob_host_.attach_wired(internet_, net::Address(192, 0, 2, 2));
+    internet_.register_domain("voicehoc.ch", net::Address(192, 0, 2, 10));
+    sip::RegistrarConfig rc;
+    rc.domain = "voicehoc.ch";
+    registrar_ = std::make_unique<sip::Registrar>(provider_host_, rc);
+  }
+
+  sip::UserAgentConfig config(const std::string& user, net::Host& host) {
+    sip::UserAgentConfig c;
+    c.aor = *sip::Uri::parse("sip:" + user + "@voicehoc.ch");
+    c.outbound_proxy = {net::Address(192, 0, 2, 10), 5060};
+    c.media_address = host.wired_address();
+    c.answer_delay = milliseconds(20);
+    return c;
+  }
+
+  sim::Simulator sim_;
+  net::Internet internet_;
+  net::Host provider_host_, alice_host_, bob_host_;
+  std::unique_ptr<sip::Registrar> registrar_;
+};
+
+TEST_F(ReinviteFixture, MediaAddressUpdatePropagates) {
+  sip::UserAgent alice(alice_host_, config("alice", alice_host_));
+  sip::UserAgent bob(bob_host_, config("bob", bob_host_));
+  std::vector<net::Endpoint> bob_media_views;  // what bob believes of alice
+  sip::UserAgentCallbacks bob_cb;
+  bob_cb.on_established = [&](sip::CallId, net::Endpoint remote) {
+    bob_media_views.push_back(remote);
+  };
+  bob.set_callbacks(std::move(bob_cb));
+  std::vector<net::Endpoint> alice_media_views;
+  sip::UserAgentCallbacks alice_cb;
+  alice_cb.on_established = [&](sip::CallId, net::Endpoint remote) {
+    alice_media_views.push_back(remote);
+  };
+  alice.set_callbacks(std::move(alice_cb));
+
+  alice.start_registration();
+  bob.start_registration();
+  sim_.run_for(seconds(1));
+  const auto call = alice.invite(*sip::Uri::parse("sip:bob@voicehoc.ch"));
+  sim_.run_for(seconds(2));
+  ASSERT_EQ(alice_media_views.size(), 1u);
+  ASSERT_EQ(bob_media_views.size(), 1u);
+  EXPECT_EQ(bob_media_views[0].address, alice_host_.wired_address());
+
+  // Alice's media moves to a new address (e.g. interface change).
+  alice.reinvite(call, net::Address(192, 0, 2, 77));
+  sim_.run_for(seconds(2));
+
+  ASSERT_EQ(bob_media_views.size(), 2u);
+  EXPECT_EQ(bob_media_views[1].address, net::Address(192, 0, 2, 77));
+  EXPECT_EQ(bob_media_views[1].port, bob_media_views[0].port);
+  // Alice also re-learned Bob's (unchanged) endpoint from the 200.
+  ASSERT_EQ(alice_media_views.size(), 2u);
+  EXPECT_EQ(alice_media_views[1], alice_media_views[0]);
+  // The call is still up and can be torn down normally.
+  EXPECT_EQ(alice.call_state(call),
+            sip::UserAgent::CallState::kEstablished);
+  alice.hangup(call);
+  sim_.run_for(seconds(2));
+  EXPECT_EQ(bob.active_calls(), 0u);
+}
+
+TEST_F(ReinviteFixture, ReinviteOnNonEstablishedCallIgnored) {
+  sip::UserAgent alice(alice_host_, config("alice", alice_host_));
+  alice.start_registration();
+  sim_.run_for(seconds(1));
+  const auto call = alice.invite(*sip::Uri::parse("sip:ghost@voicehoc.ch"));
+  sim_.run_for(seconds(2));  // 404s
+  alice.reinvite(call, net::Address(192, 0, 2, 77));  // must not crash
+  sim_.run_for(seconds(1));
+  SUCCEED();
+}
+
+TEST(ReinviteManetTest, VoiceContinuesAfterReinvite) {
+  scenario::Options o;
+  o.nodes = 3;
+  o.routing = RoutingKind::kAodv;
+  scenario::Testbed bed(o);
+  bed.start();
+  voip::SoftPhoneConfig pc;
+  pc.username = "alice";
+  pc.domain = "voicehoc.ch";
+  pc.voice.always_on = true;
+  auto& alice = bed.add_phone(0, pc);
+  pc.username = "bob";
+  auto& bob = bed.add_phone(2, pc);
+  bed.settle(seconds(2));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+  const auto call = bed.call_and_wait(alice, "bob@voicehoc.ch");
+  ASSERT_TRUE(call.established);
+  bed.run_for(seconds(5));
+
+  // Renegotiate with the same (valid) media address: the RTP session
+  // restarts and packets keep flowing.
+  alice.user_agent().reinvite(call.call, bed.host(0).manet_address());
+  bed.run_for(seconds(5));
+  const auto report = alice.call_report(call.call);
+  ASSERT_TRUE(report);
+  EXPECT_GT(report->packets_received, 100u);  // post-reinvite stream
+  EXPECT_TRUE(alice.in_call(call.call));
+}
+
+}  // namespace
+}  // namespace siphoc

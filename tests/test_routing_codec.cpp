@@ -1,0 +1,227 @@
+// Unit tests: AODV and OLSR wire codecs, including fuzz-style robustness.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "routing/aodv_codec.hpp"
+#include "routing/olsr_codec.hpp"
+
+namespace siphoc::routing {
+namespace {
+
+using net::Address;
+
+TEST(AodvCodecTest, RreqRoundTrip) {
+  aodv::Rreq m;
+  m.hop_count = 3;
+  m.ttl = 12;
+  m.rreq_id = 77;
+  m.dst = Address(10, 0, 0, 9);
+  m.dst_seqno = 42;
+  m.unknown_seqno = false;
+  m.orig = Address(10, 0, 0, 1);
+  m.orig_seqno = 100;
+
+  Bytes ext = {1, 2, 3};
+  const Bytes wire = aodv::encode(m, ext);
+  auto decoded = aodv::decode(wire);
+  ASSERT_TRUE(decoded);
+  const auto* rreq = std::get_if<aodv::Rreq>(&decoded->message);
+  ASSERT_NE(rreq, nullptr);
+  EXPECT_EQ(rreq->hop_count, 3);
+  EXPECT_EQ(rreq->ttl, 12);
+  EXPECT_EQ(rreq->rreq_id, 77u);
+  EXPECT_EQ(rreq->dst, m.dst);
+  EXPECT_EQ(rreq->dst_seqno, 42u);
+  EXPECT_FALSE(rreq->unknown_seqno);
+  EXPECT_EQ(rreq->orig, m.orig);
+  EXPECT_EQ(rreq->orig_seqno, 100u);
+  EXPECT_EQ(decoded->extension, ext);
+}
+
+TEST(AodvCodecTest, RrepRoundTrip) {
+  aodv::Rrep m;
+  m.hop_count = 2;
+  m.dst = Address(10, 0, 0, 5);
+  m.dst_seqno = 9;
+  m.orig = Address(10, 0, 0, 1);
+  m.lifetime_ms = 6000;
+  const auto decoded = aodv::decode(aodv::encode(m, {}));
+  ASSERT_TRUE(decoded);
+  const auto* rrep = std::get_if<aodv::Rrep>(&decoded->message);
+  ASSERT_NE(rrep, nullptr);
+  EXPECT_EQ(rrep->lifetime_ms, 6000u);
+  EXPECT_FALSE(rrep->is_hello);
+  EXPECT_TRUE(decoded->extension.empty());
+}
+
+TEST(AodvCodecTest, HelloFlagSurvives) {
+  aodv::Rrep hello;
+  hello.is_hello = true;
+  hello.dst = Address(10, 0, 0, 2);
+  const auto decoded = aodv::decode(aodv::encode(hello, {}));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(std::get<aodv::Rrep>(decoded->message).is_hello);
+}
+
+TEST(AodvCodecTest, RerrRoundTrip) {
+  aodv::Rerr m;
+  m.destinations.push_back({Address(10, 0, 0, 3), 11});
+  m.destinations.push_back({Address(10, 0, 0, 4), 12});
+  const auto decoded = aodv::decode(aodv::encode(m, {}));
+  ASSERT_TRUE(decoded);
+  const auto& rerr = std::get<aodv::Rerr>(decoded->message);
+  ASSERT_EQ(rerr.destinations.size(), 2u);
+  EXPECT_EQ(rerr.destinations[1].seqno, 12u);
+}
+
+TEST(AodvCodecTest, EmptyAndUnknownTypeRejected) {
+  EXPECT_FALSE(aodv::decode(Bytes{}));
+  EXPECT_FALSE(aodv::decode(Bytes{0x99}));
+}
+
+TEST(AodvCodecTest, TruncationRejectedAtEveryLength) {
+  aodv::Rreq m;
+  m.dst = Address(10, 0, 0, 9);
+  const Bytes ext = {7, 7, 7};
+  const Bytes wire = aodv::encode(m, ext);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(aodv::decode(std::span(wire.data(), len)))
+        << "length " << len << " should not decode";
+  }
+  EXPECT_TRUE(aodv::decode(wire));
+}
+
+TEST(AodvCodecTest, RandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk(rng.uniform_int(0, 64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    (void)aodv::decode(junk);  // must return error or garbage, never UB
+  }
+  SUCCEED();
+}
+
+TEST(AodvCodecTest, Describe) {
+  aodv::Rreq service;
+  service.rreq_id = 5;
+  service.orig = Address(10, 0, 0, 1);
+  EXPECT_NE(aodv::describe(service).find("<service-discovery>"),
+            std::string::npos);
+}
+
+TEST(OlsrCodecTest, HelloRoundTrip) {
+  olsr::Message m;
+  m.type = olsr::MsgType::kHello;
+  m.originator = Address(10, 0, 0, 1);
+  m.vtime_ms = 6000;
+  m.msg_seq = 42;
+  m.hello.willingness = 3;
+  m.hello.links.push_back(
+      {olsr::LinkCode::kSym, {Address(10, 0, 0, 2), Address(10, 0, 0, 3)}});
+  m.hello.links.push_back({olsr::LinkCode::kMpr, {Address(10, 0, 0, 4)}});
+  m.extension = {9, 8, 7};
+
+  olsr::Packet p;
+  p.pkt_seq = 1;
+  p.messages.push_back(m);
+  const auto decoded = olsr::decode(olsr::encode(p));
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->messages.size(), 1u);
+  const auto& h = decoded->messages.front();
+  EXPECT_EQ(h.originator, m.originator);
+  EXPECT_EQ(h.msg_seq, 42);
+  ASSERT_EQ(h.hello.links.size(), 2u);
+  EXPECT_EQ(h.hello.links[0].neighbors.size(), 2u);
+  EXPECT_EQ(h.hello.links[1].code, olsr::LinkCode::kMpr);
+  EXPECT_EQ(h.extension, m.extension);
+}
+
+TEST(OlsrCodecTest, TcRoundTrip) {
+  olsr::Message m;
+  m.type = olsr::MsgType::kTc;
+  m.originator = Address(10, 0, 0, 7);
+  m.ttl = 255;
+  m.tc.ansn = 17;
+  m.tc.advertised = {Address(10, 0, 0, 1), Address(10, 0, 0, 2)};
+  olsr::Packet p;
+  p.messages.push_back(m);
+  const auto decoded = olsr::decode(olsr::encode(p));
+  ASSERT_TRUE(decoded);
+  const auto& tc = decoded->messages.front();
+  EXPECT_EQ(tc.tc.ansn, 17);
+  ASSERT_EQ(tc.tc.advertised.size(), 2u);
+}
+
+TEST(OlsrCodecTest, MultiMessagePacket) {
+  olsr::Packet p;
+  olsr::Message hello;
+  hello.type = olsr::MsgType::kHello;
+  hello.originator = Address(10, 0, 0, 1);
+  olsr::Message tc;
+  tc.type = olsr::MsgType::kTc;
+  tc.originator = Address(10, 0, 0, 1);
+  p.messages.push_back(hello);
+  p.messages.push_back(tc);
+  const auto decoded = olsr::decode(olsr::encode(p));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->messages.size(), 2u);
+  EXPECT_EQ(decoded->messages[1].type, olsr::MsgType::kTc);
+}
+
+TEST(OlsrCodecTest, UnknownMessageTypeRejected) {
+  Bytes wire;
+  BufferWriter w(wire);
+  w.u16(1);  // pkt seq
+  w.u8(1);   // one message
+  w.u8(0x7f);  // bogus type
+  EXPECT_FALSE(olsr::decode(wire));
+}
+
+TEST(OlsrCodecTest, RandomBytesNeverCrash) {
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk(rng.uniform_int(0, 64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    (void)olsr::decode(junk);
+  }
+  SUCCEED();
+}
+
+// Property: encode/decode is the identity for arbitrary valid RREQs.
+class AodvRreqProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AodvRreqProperty, RoundTripIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    aodv::Rreq m;
+    m.hop_count = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    m.ttl = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    m.rreq_id = rng.uniform_int(0, 0xffffffff);
+    m.dst = Address{rng.uniform_int(0, 0xffffffff)};
+    m.dst_seqno = rng.uniform_int(0, 0xffffffff);
+    m.unknown_seqno = rng.chance(0.5);
+    m.orig = Address{rng.uniform_int(0, 0xffffffff)};
+    m.orig_seqno = rng.uniform_int(0, 0xffffffff);
+    Bytes ext(rng.uniform_int(0, 32));
+    for (auto& b : ext) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+
+    const auto decoded = aodv::decode(aodv::encode(m, ext));
+    ASSERT_TRUE(decoded);
+    const auto& r = std::get<aodv::Rreq>(decoded->message);
+    EXPECT_EQ(r.hop_count, m.hop_count);
+    EXPECT_EQ(r.ttl, m.ttl);
+    EXPECT_EQ(r.rreq_id, m.rreq_id);
+    EXPECT_EQ(r.dst, m.dst);
+    EXPECT_EQ(r.dst_seqno, m.dst_seqno);
+    EXPECT_EQ(r.unknown_seqno, m.unknown_seqno);
+    EXPECT_EQ(r.orig, m.orig);
+    EXPECT_EQ(r.orig_seqno, m.orig_seqno);
+    EXPECT_EQ(decoded->extension, ext);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AodvRreqProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace siphoc::routing

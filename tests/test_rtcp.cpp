@@ -1,0 +1,152 @@
+// Tests: RTCP codec and the far-end feedback loop (each side learns what
+// the other side's listener is experiencing).
+#include <gtest/gtest.h>
+
+#include "rtp/session.hpp"
+
+namespace siphoc::rtp {
+namespace {
+
+TEST(RtcpCodecTest, SenderReportRoundTrip) {
+  RtcpPacket p;
+  p.is_sender_report = true;
+  p.sender_ssrc = 0xAAAA5555;
+  p.sender_info.ntp_time = 123456789;
+  p.sender_info.rtp_timestamp = 16000;
+  p.sender_info.packet_count = 500;
+  p.sender_info.octet_count = 80000;
+  ReportBlock block;
+  block.ssrc = 0x1111;
+  block.fraction_lost = 25;  // ~10%
+  block.cumulative_lost = 0x123456;
+  block.highest_seq = 0x00020001;
+  block.jitter = 160;
+  p.reports.push_back(block);
+
+  auto decoded = RtcpPacket::decode(p.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->is_sender_report);
+  EXPECT_EQ(decoded->sender_ssrc, 0xAAAA5555u);
+  EXPECT_EQ(decoded->sender_info.ntp_time, 123456789u);
+  EXPECT_EQ(decoded->sender_info.packet_count, 500u);
+  ASSERT_EQ(decoded->reports.size(), 1u);
+  EXPECT_EQ(decoded->reports[0].fraction_lost, 25);
+  EXPECT_EQ(decoded->reports[0].cumulative_lost, 0x123456u);
+  EXPECT_EQ(decoded->reports[0].highest_seq, 0x00020001u);
+  EXPECT_EQ(decoded->reports[0].jitter, 160u);
+}
+
+TEST(RtcpCodecTest, ReceiverReportWithoutSenderInfo) {
+  RtcpPacket p;
+  p.is_sender_report = false;
+  p.sender_ssrc = 7;
+  auto decoded = RtcpPacket::decode(p.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->is_sender_report);
+  EXPECT_TRUE(decoded->reports.empty());
+}
+
+TEST(RtcpCodecTest, GarbageRejected) {
+  Bytes junk = {0x00, 0xc8, 0x00};
+  EXPECT_FALSE(RtcpPacket::decode(junk));  // wrong version
+  Bytes wrong_type = {0x80, 0x99, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01};
+  EXPECT_FALSE(RtcpPacket::decode(wrong_type));
+  EXPECT_FALSE(RtcpPacket::decode(Bytes{}));
+}
+
+TEST(RtcpCodecTest, FractionLostConversion) {
+  EXPECT_DOUBLE_EQ(fraction_lost_percent(0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_lost_percent(128), 50.0);
+  EXPECT_NEAR(fraction_lost_percent(26), 10.15, 0.01);
+}
+
+TEST(ReceiverStatsTest, IntervalFractionLost) {
+  ReceiverStats stats;
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  // First interval: receive 8 of 10.
+  for (const std::uint16_t seq : {1, 2, 3, 4, 6, 7, 9, 10}) {
+    RtpPacket p;
+    p.sequence = seq;
+    stats.on_packet(p, t0 + milliseconds(seq * 20 + 2),
+                    t0 + milliseconds(seq * 20));
+  }
+  const auto f1 = stats.take_interval_fraction_lost();
+  EXPECT_NEAR(fraction_lost_percent(f1), 20.0, 3.0);
+  // Second interval: lossless.
+  for (std::uint16_t seq = 11; seq <= 20; ++seq) {
+    RtpPacket p;
+    p.sequence = seq;
+    stats.on_packet(p, t0 + milliseconds(seq * 20 + 2),
+                    t0 + milliseconds(seq * 20));
+  }
+  EXPECT_EQ(stats.take_interval_fraction_lost(), 0);
+}
+
+TEST(RtcpSessionTest, FarEndFeedbackFlows) {
+  sim::Simulator sim(5);
+  net::Internet internet(sim, milliseconds(10));
+  net::Host a(sim, 0, "a"), b(sim, 1, "b");
+  a.attach_wired(internet, net::Address(192, 0, 2, 1));
+  b.attach_wired(internet, net::Address(192, 0, 2, 2));
+
+  SessionConfig ca;
+  ca.local_port = 8000;
+  ca.remote = {net::Address(192, 0, 2, 2), 8000};
+  ca.voice.always_on = true;
+  SessionConfig cb = ca;
+  cb.remote = {net::Address(192, 0, 2, 1), 8000};
+
+  Session sa(a, ca), sb(b, cb);
+  sa.start();
+  sb.start();
+  sim.run_for(seconds(20));
+
+  EXPECT_GE(sa.rtcp_sent(), 3u);
+  EXPECT_GE(sa.rtcp_received(), 3u);
+  const auto ra = sa.report();
+  // Lossless wire: the far end reports a clean stream.
+  ASSERT_TRUE(ra.remote_loss_percent.has_value());
+  EXPECT_DOUBLE_EQ(*ra.remote_loss_percent, 0.0);
+  ASSERT_TRUE(ra.remote_jitter_ms.has_value());
+  EXPECT_LT(*ra.remote_jitter_ms, 1.0);
+  sa.stop();
+  sb.stop();
+}
+
+TEST(RtcpSessionTest, RemoteReportReflectsActualLoss) {
+  // a -> b path drops packets; b's RTCP must tell a about it.
+  sim::Simulator sim(9);
+  net::RadioMedium medium(sim, [] {
+    net::RadioConfig c;
+    c.loss_probability = 0.2;
+    return c;
+  }());
+  net::Host a(sim, 0, "a"), b(sim, 1, "b");
+  a.attach_radio(medium, net::Address(10, 0, 0, 1),
+                 std::make_shared<net::StaticMobility>(net::Position{0, 0}));
+  b.attach_radio(medium, net::Address(10, 0, 0, 2),
+                 std::make_shared<net::StaticMobility>(net::Position{10, 0}));
+
+  SessionConfig ca;
+  ca.local_port = 8000;
+  ca.remote = {net::Address(10, 0, 0, 2), 8000};
+  ca.voice.always_on = true;
+  SessionConfig cb = ca;
+  cb.remote = {net::Address(10, 0, 0, 1), 8000};
+
+  Session sa(a, ca), sb(b, cb);
+  sa.start();
+  sb.start();
+  sim.run_for(seconds(60));
+
+  const auto ra = sa.report();
+  ASSERT_TRUE(ra.remote_loss_percent.has_value());
+  // ~20% radio loss: the far-end report should land in that ballpark.
+  EXPECT_GT(*ra.remote_loss_percent, 8.0);
+  EXPECT_LT(*ra.remote_loss_percent, 35.0);
+  sa.stop();
+  sb.stop();
+}
+
+}  // namespace
+}  // namespace siphoc::rtp

@@ -1,0 +1,289 @@
+// Tests: RTP codec, jitter buffer, receiver statistics, E-model scoring,
+// talk-spurt source, and a full two-way session over the wired segment.
+#include <gtest/gtest.h>
+
+#include "rtp/session.hpp"
+
+namespace siphoc::rtp {
+namespace {
+
+TEST(RtpCodecTest, RoundTrip) {
+  RtpPacket p;
+  p.payload_type = kPayloadPcmu;
+  p.marker = true;
+  p.sequence = 0xBEEF;
+  p.timestamp = 123456;
+  p.ssrc = 0xCAFEBABE;
+  p.payload = Bytes(160, 0xd5);
+  auto decoded = RtpPacket::decode(p.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->marker);
+  EXPECT_EQ(decoded->sequence, 0xBEEF);
+  EXPECT_EQ(decoded->timestamp, 123456u);
+  EXPECT_EQ(decoded->ssrc, 0xCAFEBABEu);
+  EXPECT_EQ(decoded->payload.size(), 160u);
+}
+
+TEST(RtpCodecTest, RejectsBadVersionAndTruncation) {
+  Bytes bad = {0x00, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(RtpPacket::decode(bad));
+  Bytes tiny = {0x80};
+  EXPECT_FALSE(RtpPacket::decode(tiny));
+}
+
+TEST(RtpCodecTest, VoicePacketCarriesSendTime) {
+  const TimePoint sent = TimePoint{} + seconds(42) + microseconds(77);
+  const RtpPacket p = make_voice_packet(1, 160, 7, false, sent);
+  EXPECT_EQ(p.payload.size(), kPcmuFrameBytes);
+  const auto recovered = voice_packet_sent_time(p);
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(*recovered, sent);
+}
+
+TEST(JitterBufferTest, InOrderPlayout) {
+  JitterBuffer jb(milliseconds(60));
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    RtpPacket p;
+    p.sequence = i;
+    EXPECT_TRUE(jb.insert(p, t0 + milliseconds(5), t0));
+  }
+  EXPECT_EQ(jb.depth(), 3u);
+  EXPECT_FALSE(jb.pop_due(t0 + milliseconds(30)));  // not due yet
+  int played = 0;
+  while (jb.pop_due(t0 + milliseconds(60))) ++played;
+  EXPECT_EQ(played, 3);
+  EXPECT_EQ(jb.played(), 3u);
+}
+
+TEST(JitterBufferTest, LatePacketDropped) {
+  JitterBuffer jb(milliseconds(60));
+  const TimePoint sent = TimePoint{} + seconds(1);
+  RtpPacket p;
+  p.sequence = 1;
+  EXPECT_FALSE(jb.insert(p, sent + milliseconds(100), sent));
+  EXPECT_EQ(jb.late_drops(), 1u);
+}
+
+TEST(JitterBufferTest, DuplicateDropped) {
+  JitterBuffer jb(milliseconds(60));
+  const TimePoint sent = TimePoint{} + seconds(1);
+  RtpPacket p;
+  p.sequence = 5;
+  EXPECT_TRUE(jb.insert(p, sent, sent));
+  EXPECT_FALSE(jb.insert(p, sent + milliseconds(1), sent));
+  EXPECT_EQ(jb.duplicate_drops(), 1u);
+}
+
+TEST(JitterBufferTest, PacketOlderThanPlayedIsLate) {
+  JitterBuffer jb(milliseconds(60));
+  const TimePoint sent = TimePoint{} + seconds(1);
+  RtpPacket newer;
+  newer.sequence = 10;
+  jb.insert(newer, sent, sent);
+  jb.pop_due(sent + milliseconds(60));
+  RtpPacket older;
+  older.sequence = 9;
+  EXPECT_FALSE(jb.insert(older, sent + milliseconds(61), sent));
+}
+
+TEST(JitterBufferTest, ReorderWithinDelayIsFine) {
+  JitterBuffer jb(milliseconds(60));
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  RtpPacket p2;
+  p2.sequence = 2;
+  RtpPacket p1;
+  p1.sequence = 1;
+  jb.insert(p2, t0 + milliseconds(10), t0 + milliseconds(20));
+  jb.insert(p1, t0 + milliseconds(15), t0);
+  // Playout order follows sequence numbers, not arrival.
+  auto first = jb.pop_due(t0 + milliseconds(100));
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->sequence, 1);
+}
+
+TEST(ReceiverStatsTest, LossAndExpected) {
+  ReceiverStats stats;
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  for (std::uint16_t seq : {1, 2, 4, 5, 8}) {  // 3, 6, 7 lost
+    RtpPacket p;
+    p.sequence = seq;
+    stats.on_packet(p, t0 + milliseconds(seq * 20 + 5),
+                    t0 + milliseconds(seq * 20));
+  }
+  EXPECT_EQ(stats.received(), 5u);
+  EXPECT_EQ(stats.expected(), 8u);
+  EXPECT_EQ(stats.lost(), 3u);
+  EXPECT_NEAR(stats.loss_fraction(), 3.0 / 8.0, 1e-9);
+}
+
+TEST(ReceiverStatsTest, SequenceWraparound) {
+  ReceiverStats stats;
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  std::uint16_t seqs[] = {65534, 65535, 0, 1};
+  int i = 0;
+  for (const auto seq : seqs) {
+    RtpPacket p;
+    p.sequence = seq;
+    stats.on_packet(p, t0 + milliseconds(20 * i + 2), t0 + milliseconds(20 * i));
+    ++i;
+  }
+  EXPECT_EQ(stats.expected(), 4u);
+  EXPECT_EQ(stats.lost(), 0u);
+}
+
+TEST(ReceiverStatsTest, ConstantDelayMeansZeroJitter) {
+  ReceiverStats stats;
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    RtpPacket p;
+    p.sequence = i;
+    stats.on_packet(p, t0 + milliseconds(i * 20 + 7),
+                    t0 + milliseconds(i * 20));
+  }
+  EXPECT_DOUBLE_EQ(stats.jitter_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_delay_ms(), 7.0);
+}
+
+TEST(ReceiverStatsTest, VariableDelayRaisesJitter) {
+  ReceiverStats stats;
+  Rng rng(5);
+  const TimePoint t0 = TimePoint{} + seconds(1);
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    RtpPacket p;
+    p.sequence = i;
+    const auto extra = milliseconds(rng.uniform_int(0, 30));
+    stats.on_packet(p, t0 + milliseconds(i * 20) + extra,
+                    t0 + milliseconds(i * 20));
+  }
+  EXPECT_GT(stats.jitter_ms(), 1.0);
+}
+
+// E-model properties over a parameter sweep.
+class EModelLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EModelLossSweep, MosDecreasesWithLoss) {
+  const double loss = GetParam();
+  const auto base = score_call({50.0, loss});
+  const auto worse = score_call({50.0, loss + 5.0});
+  EXPECT_LE(worse.mos, base.mos);
+  EXPECT_GE(base.mos, 1.0);
+  EXPECT_LE(base.mos, 4.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossLevels, EModelLossSweep,
+                         ::testing::Values(0.0, 1.0, 2.0, 5.0, 10.0, 20.0,
+                                           40.0));
+
+class EModelDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EModelDelaySweep, MosDecreasesWithDelay) {
+  const double delay = GetParam();
+  const auto base = score_call({delay, 0.0});
+  const auto worse = score_call({delay + 50.0, 0.0});
+  EXPECT_LE(worse.mos, base.mos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, EModelDelaySweep,
+                         ::testing::Values(10.0, 50.0, 100.0, 150.0, 200.0,
+                                           400.0));
+
+TEST(EModelTest, AnchorValues) {
+  // Clean narrow-band G.711: toll quality.
+  const auto clean = score_call({20.0, 0.0});
+  EXPECT_GT(clean.mos, 4.2);
+  // 20% loss: unusable.
+  const auto bad = score_call({20.0, 20.0});
+  EXPECT_LT(bad.mos, 3.0);
+}
+
+TEST(VoiceSourceTest, AlwaysOnEmitsEveryTick) {
+  TalkSpurtConfig config;
+  config.always_on = true;
+  VoiceSource source(config, Rng(1));
+  int emitted = 0, markers = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto tick = source.tick(TimePoint{} + milliseconds(20 * i));
+    if (tick.emit) ++emitted;
+    if (tick.spurt_start) ++markers;
+  }
+  EXPECT_EQ(emitted, 100);
+  EXPECT_EQ(markers, 1);
+}
+
+TEST(VoiceSourceTest, VadDutyCycleNearBradyModel) {
+  TalkSpurtConfig config;  // 1.0 s talk / 1.35 s silence -> ~43% duty
+  VoiceSource source(config, Rng(7));
+  int emitted = 0;
+  const int ticks = 50000;  // 1000 s of call
+  for (int i = 0; i < ticks; ++i) {
+    if (source.tick(TimePoint{} + milliseconds(20 * i)).emit) ++emitted;
+  }
+  const double duty = static_cast<double>(emitted) / ticks;
+  EXPECT_GT(duty, 0.32);
+  EXPECT_LT(duty, 0.53);
+}
+
+TEST(VoiceSourceTest, MarkerOnEverySpurtStart) {
+  TalkSpurtConfig config;
+  VoiceSource source(config, Rng(9));
+  bool was_talking = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto tick = source.tick(TimePoint{} + milliseconds(20 * i));
+    if (tick.emit && !was_talking) {
+      EXPECT_TRUE(tick.spurt_start);
+    }
+    was_talking = tick.emit;
+  }
+}
+
+TEST(SessionTest, TwoWayStreamOverWire) {
+  sim::Simulator sim(3);
+  net::Internet internet(sim, milliseconds(15));
+  net::Host a(sim, 0, "a"), b(sim, 1, "b");
+  a.attach_wired(internet, net::Address(192, 0, 2, 1));
+  b.attach_wired(internet, net::Address(192, 0, 2, 2));
+
+  SessionConfig ca;
+  ca.local_port = 8000;
+  ca.remote = {net::Address(192, 0, 2, 2), 8000};
+  ca.voice.always_on = true;
+  SessionConfig cb;
+  cb.local_port = 8000;
+  cb.remote = {net::Address(192, 0, 2, 1), 8000};
+  cb.voice.always_on = true;
+
+  Session sa(a, ca), sb(b, cb);
+  sa.start();
+  sb.start();
+  sim.run_for(seconds(10));
+  sa.stop();
+  sb.stop();
+
+  const auto ra = sa.report();
+  EXPECT_NEAR(static_cast<double>(ra.packets_sent), 500, 5);
+  EXPECT_NEAR(static_cast<double>(ra.packets_received), 500, 5);
+  EXPECT_EQ(ra.packets_lost, 0u);
+  EXPECT_NEAR(ra.mean_delay_ms, 15.0, 1.0);
+  EXPECT_GT(ra.quality.mos, 4.0);
+}
+
+TEST(SessionTest, ReportSurvivesStop) {
+  sim::Simulator sim(3);
+  net::Internet internet(sim, milliseconds(5));
+  net::Host a(sim, 0, "a");
+  a.attach_wired(internet, net::Address(192, 0, 2, 1));
+  SessionConfig c;
+  c.local_port = 8000;
+  c.remote = {net::Address(192, 0, 2, 9), 8000};  // nobody there
+  c.voice.always_on = true;
+  Session s(a, c);
+  s.start();
+  sim.run_for(seconds(2));
+  s.stop();
+  EXPECT_GT(s.report().packets_sent, 90u);
+  EXPECT_EQ(s.report().packets_received, 0u);
+}
+
+}  // namespace
+}  // namespace siphoc::rtp

@@ -1,0 +1,124 @@
+// Unit tests: discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace siphoc::sim {
+namespace {
+
+TEST(SimulatorTest, TimeAdvancesToEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(5), [&] { order.push_back(2); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(3); });
+  sim.run_until(TimePoint{} + milliseconds(15));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(15));
+  sim.run_for(milliseconds(10));
+  ASSERT_EQ(order.size(), 3u);
+}
+
+TEST(SimulatorTest, SameTimestampFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule(milliseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsSafe) {
+  Simulator sim;
+  auto handle = sim.schedule(milliseconds(1), [] {});
+  sim.run_to_completion();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op, no crash
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(milliseconds(1), recurse);
+  };
+  sim.schedule(milliseconds(1), recurse);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), TimePoint{} + milliseconds(5));
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesEvenWhenEmpty) {
+  Simulator sim;
+  sim.run_until(TimePoint{} + seconds(100));
+  EXPECT_EQ(sim.now(), TimePoint{} + seconds(100));
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedlyUntilStopped) {
+  Simulator sim;
+  PeriodicTimer timer;
+  int count = 0;
+  timer.start(sim, milliseconds(100), [&] { ++count; });
+  sim.run_for(milliseconds(550));
+  EXPECT_EQ(count, 5);
+  timer.stop();
+  sim.run_for(seconds(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PeriodicTimerTest, StopFromWithinCallback) {
+  Simulator sim;
+  PeriodicTimer timer;
+  int count = 0;
+  timer.start(sim, milliseconds(10), [&] {
+    if (++count == 3) timer.stop();
+  });
+  sim.run_for(seconds(1));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimerTest, JitterStaysNearPeriod) {
+  Simulator sim(123);
+  PeriodicTimer timer;
+  std::vector<TimePoint> fires;
+  timer.start(sim, milliseconds(100), [&] { fires.push_back(sim.now()); },
+              milliseconds(20));
+  sim.run_for(seconds(2));
+  timer.stop();
+  ASSERT_GE(fires.size(), 10u);
+  for (std::size_t i = 1; i < fires.size(); ++i) {
+    const auto gap = fires[i] - fires[i - 1];
+    EXPECT_GE(gap, milliseconds(60));
+    EXPECT_LE(gap, milliseconds(140));
+  }
+}
+
+TEST(PeriodicTimerTest, RestartReplacesSchedule) {
+  Simulator sim;
+  PeriodicTimer timer;
+  int a = 0, b = 0;
+  timer.start(sim, milliseconds(10), [&] { ++a; });
+  sim.run_for(milliseconds(25));
+  timer.start(sim, milliseconds(10), [&] { ++b; });
+  sim.run_for(milliseconds(25));
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+}
+
+}  // namespace
+}  // namespace siphoc::sim

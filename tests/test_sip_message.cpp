@@ -1,0 +1,318 @@
+// Tests: SIP URI / header / message grammar and SDP (RFC 3261 / 4566).
+#include <gtest/gtest.h>
+
+#include "sip/message.hpp"
+#include "sip/sdp.hpp"
+
+namespace siphoc::sip {
+namespace {
+
+TEST(UriTest, FullForm) {
+  auto uri = Uri::parse("sip:alice@voicehoc.ch:5070;transport=udp;lr");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->scheme, "sip");
+  EXPECT_EQ(uri->user, "alice");
+  EXPECT_EQ(uri->host, "voicehoc.ch");
+  EXPECT_EQ(uri->port, 5070);
+  EXPECT_EQ(uri->params.at("transport"), "udp");
+  EXPECT_TRUE(uri->params.contains("lr"));
+  EXPECT_EQ(uri->aor(), "alice@voicehoc.ch");
+}
+
+TEST(UriTest, MinimalForms) {
+  auto domain_only = Uri::parse("sip:voicehoc.ch");
+  ASSERT_TRUE(domain_only);
+  EXPECT_TRUE(domain_only->user.empty());
+  EXPECT_EQ(domain_only->port, 0);
+
+  auto numeric = Uri::parse("sip:bob@10.0.0.4:5060");
+  ASSERT_TRUE(numeric);
+  const auto ep = numeric->numeric_endpoint();
+  ASSERT_TRUE(ep);
+  EXPECT_EQ(ep->to_string(), "10.0.0.4:5060");
+}
+
+TEST(UriTest, DefaultPortOnResolve) {
+  auto uri = Uri::parse("sip:bob@10.0.0.4");
+  ASSERT_TRUE(uri);
+  EXPECT_EQ(uri->numeric_endpoint()->port, 5060);
+  EXPECT_FALSE(Uri::parse("sip:bob@voicehoc.ch")->numeric_endpoint());
+}
+
+TEST(UriTest, Rejections) {
+  EXPECT_FALSE(Uri::parse("http://example.com"));
+  EXPECT_FALSE(Uri::parse("alice@voicehoc.ch"));
+  EXPECT_FALSE(Uri::parse("sip:"));
+  EXPECT_FALSE(Uri::parse("sip:alice@host:port"));
+  EXPECT_FALSE(Uri::parse("sip:alice@host:70000"));
+}
+
+TEST(UriTest, SerializeRoundTrip) {
+  const std::string text = "sip:alice@voicehoc.ch:5070;lr;transport=udp";
+  auto uri = Uri::parse(text);
+  ASSERT_TRUE(uri);
+  auto again = Uri::parse(uri->to_string());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*uri, *again);
+}
+
+TEST(NameAddrTest, DisplayNameAndParams) {
+  auto na = NameAddr::parse("\"Alice Liddell\" <sip:alice@voicehoc.ch>;tag=77");
+  ASSERT_TRUE(na);
+  EXPECT_EQ(na->display, "Alice Liddell");
+  EXPECT_EQ(na->uri.user, "alice");
+  EXPECT_EQ(na->tag(), "77");
+}
+
+TEST(NameAddrTest, AddrSpecFormSeparatesHeaderParams) {
+  // Without <>, the ;tag belongs to the header, not the URI.
+  auto na = NameAddr::parse("sip:bob@voicehoc.ch;tag=abc");
+  ASSERT_TRUE(na);
+  EXPECT_EQ(na->tag(), "abc");
+  EXPECT_TRUE(na->uri.params.empty());
+}
+
+TEST(NameAddrTest, SetTagAndRoundTrip) {
+  NameAddr na;
+  na.uri = *Uri::parse("sip:carol@x.org");
+  na.set_tag("z1");
+  auto again = NameAddr::parse(na.to_string());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->tag(), "z1");
+  EXPECT_EQ(again->uri.aor(), "carol@x.org");
+}
+
+TEST(ViaTest, ParseWithParams) {
+  auto via = Via::parse(
+      "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK776;received=10.0.0.9");
+  ASSERT_TRUE(via);
+  EXPECT_EQ(via->host, "10.0.0.1");
+  EXPECT_EQ(via->port, 5060);
+  EXPECT_EQ(via->branch(), "z9hG4bK776");
+  const auto ep = via->response_endpoint();
+  ASSERT_TRUE(ep);
+  EXPECT_EQ(ep->address.to_string(), "10.0.0.9");  // received wins
+}
+
+TEST(ViaTest, DefaultPortAndRejections) {
+  auto via = Via::parse("SIP/2.0/UDP host.example;branch=z9hG4bK1");
+  ASSERT_TRUE(via);
+  EXPECT_EQ(via->port, 5060);
+  EXPECT_FALSE(via->response_endpoint());  // symbolic, no received
+  EXPECT_FALSE(Via::parse("SIP/2.0/TCP 10.0.0.1:5060"));
+  EXPECT_FALSE(Via::parse("garbage"));
+}
+
+TEST(CSeqTest, ParseAndFormat) {
+  auto cseq = CSeq::parse("314159 INVITE");
+  ASSERT_TRUE(cseq);
+  EXPECT_EQ(cseq->number, 314159u);
+  EXPECT_EQ(cseq->method, "INVITE");
+  EXPECT_EQ(cseq->to_string(), "314159 INVITE");
+  EXPECT_FALSE(CSeq::parse("INVITE"));
+  EXPECT_FALSE(CSeq::parse("12"));
+}
+
+// ---------------------------------------------------------------------------
+// Full messages
+// ---------------------------------------------------------------------------
+
+const char kInviteWire[] =
+    "INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
+    "Via: SIP/2.0/UDP 127.0.0.1:5070;branch=z9hG4bK74bf9\r\n"
+    "Max-Forwards: 70\r\n"
+    "From: \"Alice\" <sip:alice@voicehoc.ch>;tag=9fxced76sl\r\n"
+    "To: <sip:bob@voicehoc.ch>\r\n"
+    "Call-ID: 3848276298220188511@voicehoc.ch\r\n"
+    "CSeq: 1 INVITE\r\n"
+    "Contact: <sip:alice@127.0.0.1:5070>\r\n"
+    "Content-Type: application/sdp\r\n"
+    "Content-Length: 4\r\n"
+    "\r\n"
+    "v=0\n";
+
+TEST(MessageTest, ParseRequest) {
+  auto m = Message::parse(kInviteWire);
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(m->is_request());
+  EXPECT_EQ(m->method(), "INVITE");
+  EXPECT_EQ(m->request_uri().aor(), "bob@voicehoc.ch");
+  EXPECT_EQ(m->call_id(), "3848276298220188511@voicehoc.ch");
+  EXPECT_EQ(m->cseq()->number, 1u);
+  EXPECT_EQ(m->from()->tag(), "9fxced76sl");
+  EXPECT_EQ(m->from()->display, "Alice");
+  EXPECT_TRUE(m->to()->tag().empty());
+  EXPECT_EQ(m->top_via()->branch(), "z9hG4bK74bf9");
+  EXPECT_EQ(m->body(), "v=0\n");
+  EXPECT_EQ(m->max_forwards(), 70);
+}
+
+TEST(MessageTest, SerializeParseRoundTrip) {
+  auto m = Message::parse(kInviteWire);
+  ASSERT_TRUE(m);
+  auto again = Message::parse(m->serialize());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->method(), "INVITE");
+  EXPECT_EQ(again->body(), m->body());
+  EXPECT_EQ(again->raw_headers().size(), m->raw_headers().size());
+}
+
+TEST(MessageTest, ParseResponse) {
+  auto m = Message::parse(
+      "SIP/2.0 180 Ringing\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK1\r\n"
+      "CSeq: 1 INVITE\r\n"
+      "\r\n");
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(m->is_response());
+  EXPECT_EQ(m->status(), 180);
+  EXPECT_EQ(m->reason(), "Ringing");
+}
+
+TEST(MessageTest, CompactHeaderForms) {
+  auto m = Message::parse(
+      "OPTIONS sip:x@y SIP/2.0\r\n"
+      "v: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK2\r\n"
+      "f: <sip:a@y>;tag=1\r\n"
+      "t: <sip:x@y>\r\n"
+      "i: abc@y\r\n"
+      "m: <sip:a@10.0.0.1:5070>\r\n"
+      "l: 0\r\n"
+      "\r\n");
+  ASSERT_TRUE(m);
+  EXPECT_TRUE(m->top_via());
+  EXPECT_EQ(m->call_id(), "abc@y");
+  EXPECT_TRUE(m->contact());
+  EXPECT_EQ(m->from()->tag(), "1");
+}
+
+TEST(MessageTest, FoldedHeaderUnfolds) {
+  auto m = Message::parse(
+      "OPTIONS sip:x@y SIP/2.0\r\n"
+      "Subject: first line\r\n"
+      " continued here\r\n"
+      "Content-Length: 0\r\n"
+      "\r\n");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->header("subject"), "first line continued here");
+}
+
+TEST(MessageTest, CommaSeparatedViasSplit) {
+  auto m = Message::parse(
+      "ACK sip:x@y SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK1, "
+      "SIP/2.0/UDP 10.0.0.2:5060;branch=z9hG4bK2\r\n"
+      "Content-Length: 0\r\n"
+      "\r\n");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->vias().size(), 2u);
+}
+
+TEST(MessageTest, ViaPushPopOrder) {
+  auto m = Message::parse(kInviteWire);
+  ASSERT_TRUE(m);
+  Via via;
+  via.host = "10.0.0.1";
+  via.params["branch"] = "z9hG4bKproxy";
+  m->push_via(via);
+  EXPECT_EQ(m->top_via()->branch(), "z9hG4bKproxy");
+  EXPECT_EQ(m->vias().size(), 2u);
+  m->pop_via();
+  EXPECT_EQ(m->top_via()->branch(), "z9hG4bK74bf9");
+}
+
+TEST(MessageTest, ResponseToCopiesRequiredHeaders) {
+  auto req = Message::parse(kInviteWire);
+  ASSERT_TRUE(req);
+  req->add_header("record-route", "<sip:10.0.0.9;lr>");
+  const Message resp = Message::response_to(*req, 200);
+  EXPECT_EQ(resp.status(), 200);
+  EXPECT_EQ(resp.reason(), "OK");
+  EXPECT_EQ(resp.top_via()->branch(), req->top_via()->branch());
+  EXPECT_EQ(resp.call_id(), req->call_id());
+  EXPECT_EQ(resp.cseq()->method, "INVITE");
+  EXPECT_FALSE(resp.headers("record-route").empty());
+  EXPECT_FALSE(resp.header("contact"));  // not copied
+}
+
+TEST(MessageTest, BodyHonorsContentLength) {
+  auto m = Message::parse(
+      "OPTIONS sip:x@y SIP/2.0\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "12345extra-bytes-ignored");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->body(), "12345");
+  EXPECT_FALSE(Message::parse(
+      "OPTIONS sip:x@y SIP/2.0\r\nContent-Length: 99\r\n\r\nshort"));
+}
+
+TEST(MessageTest, SerializedFormHasCrlfAndContentLength) {
+  Message m = Message::request("OPTIONS", *Uri::parse("sip:x@y"));
+  m.set_body("hello", "text/plain");
+  const std::string wire = m.serialize();
+  EXPECT_NE(wire.find("OPTIONS sip:x@y SIP/2.0\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(MessageTest, MalformedInputsRejected) {
+  EXPECT_FALSE(Message::parse(""));
+  EXPECT_FALSE(Message::parse("\r\n"));
+  EXPECT_FALSE(Message::parse("INVITE\r\n\r\n"));
+  EXPECT_FALSE(Message::parse("INVITE sip:x@y SIP/3.0\r\n\r\n"));
+  EXPECT_FALSE(Message::parse("SIP/2.0 abc Huh\r\n\r\n"));
+  EXPECT_FALSE(Message::parse("INVITE sip:x@y SIP/2.0\r\nno colon\r\n\r\n"));
+  EXPECT_FALSE(
+      Message::parse("INVITE sip:x@y SIP/2.0\r\nheader: unterminated"));
+}
+
+TEST(MessageTest, SummaryFormats) {
+  auto req = Message::parse(kInviteWire);
+  EXPECT_EQ(req->summary(), "INVITE sip:bob@voicehoc.ch");
+  const Message resp = Message::response_to(*req, 404);
+  EXPECT_EQ(resp.summary(), "404 Not Found (INVITE)");
+}
+
+// ---------------------------------------------------------------------------
+// SDP
+// ---------------------------------------------------------------------------
+
+TEST(SdpTest, BuildSerializeParse) {
+  const Sdp offer = Sdp::audio(net::Address(10, 0, 0, 1), 8000, 4711);
+  auto parsed = Sdp::parse(offer.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->connection, net::Address(10, 0, 0, 1));
+  ASSERT_EQ(parsed->media.size(), 1u);
+  EXPECT_EQ(parsed->media[0].port, 8000);
+  EXPECT_EQ(parsed->media[0].payload_types, std::vector<int>{0});
+  const auto ep = parsed->audio_endpoint();
+  ASSERT_TRUE(ep);
+  EXPECT_EQ(ep->to_string(), "10.0.0.1:8000");
+}
+
+TEST(SdpTest, ToleratesUnknownLines) {
+  auto sdp = Sdp::parse(
+      "v=0\r\n"
+      "o=- 1 1 IN IP4 10.0.0.2\r\n"
+      "s=call\r\n"
+      "c=IN IP4 10.0.0.2\r\n"
+      "b=AS:64\r\n"
+      "t=0 0\r\n"
+      "a=sendrecv\r\n"
+      "m=audio 9000 RTP/AVP 0 8\r\n"
+      "a=rtpmap:0 PCMU/8000\r\n");
+  ASSERT_TRUE(sdp);
+  EXPECT_EQ(sdp->media[0].payload_types.size(), 2u);
+  EXPECT_EQ(sdp->session_name, "call");
+}
+
+TEST(SdpTest, Rejections) {
+  EXPECT_FALSE(Sdp::parse("v=0\r\nm=audio 8000 RTP/AVP 0\r\n"));  // no c=
+  EXPECT_FALSE(Sdp::parse("v=0\r\nc=IN IP4 10.0.0.1\r\n"));       // no m=
+  EXPECT_FALSE(
+      Sdp::parse("v=0\r\nc=IN IP4 10.0.0.1\r\nm=audio huge RTP/AVP 0\r\n"));
+}
+
+}  // namespace
+}  // namespace siphoc::sip

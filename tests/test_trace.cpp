@@ -1,0 +1,123 @@
+// Tests: the TraceRecorder packet analyzer and the Testbed helpers.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
+
+namespace siphoc::scenario {
+namespace {
+
+TEST(TraceRecorderTest, CapturesAndDecodesCallSetup) {
+  Options o;
+  o.nodes = 3;
+  o.routing = RoutingKind::kAodv;
+  Testbed bed(o);
+  TraceRecorder trace(bed.medium());
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  auto& bob = bed.add_phone(2, "bob");
+  bed.settle(seconds(2));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+  const auto call = bed.call_and_wait(alice, "bob@voicehoc.ch");
+  ASSERT_TRUE(call.established);
+  bed.run_for(seconds(2));
+  alice.hang_up(call.call);
+  bed.run_for(seconds(1));
+
+  EXPECT_GT(trace.captured(), 20u);
+  // The capture contains the protocol conversation in decoded form.
+  EXPECT_FALSE(trace.grep("INVITE sip:bob@voicehoc.ch").empty());
+  EXPECT_FALSE(trace.grep("SIP/2.0 200 OK").empty());
+  EXPECT_FALSE(trace.grep("BYE").empty());
+  EXPECT_FALSE(trace.grep("RREQ").empty());
+  EXPECT_FALSE(trace.grep("rqst:sip-contact:bob@voicehoc.ch").empty());
+  EXPECT_FALSE(trace.grep("rply:sip-contact:bob@voicehoc.ch").empty());
+  EXPECT_FALSE(trace.grep("RTP ssrc=").empty());
+  // Formatting is stable and line-oriented.
+  const std::string dump = trace.dump();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(dump.begin(), dump.end(), '\n')),
+            trace.entries().size());
+}
+
+TEST(TraceRecorderTest, FilterAndCapacity) {
+  Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  Testbed bed(o);
+  TraceRecorder trace(bed.medium(), /*capacity=*/5);
+  trace.set_filter([](const net::Frame& f) {
+    return f.datagram.dst_port == net::kAodvPort;
+  });
+  bed.start();
+  bed.settle(seconds(10));
+  EXPECT_LE(trace.entries().size(), 5u);   // ring bounded
+  EXPECT_GT(trace.captured(), 5u);         // but more passed through
+  for (const auto& e : trace.entries()) {
+    EXPECT_EQ(e.traffic_class, net::TrafficClass::kRouting);
+  }
+}
+
+TEST(TraceRecorderTest, DecodesOlsrAndTunnel) {
+  Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kOlsr;
+  Testbed bed(o);
+  TraceRecorder trace(bed.medium());
+  bed.start();
+  bed.make_gateway(0);
+  bed.settle(seconds(15));
+  EXPECT_FALSE(trace.grep("OLSR HELLO").empty());
+  EXPECT_FALSE(trace.grep("TUNNEL CONNECT").empty());
+  EXPECT_FALSE(trace.grep("TUNNEL ACCEPT").empty());
+  EXPECT_FALSE(trace.grep("TUNNEL KEEPALIVE").empty());
+}
+
+TEST(TestbedTest, AddressConvention) {
+  EXPECT_EQ(Testbed::manet_address(0).to_string(), "10.0.0.1");
+  EXPECT_EQ(Testbed::manet_address(9).to_string(), "10.0.0.10");
+}
+
+TEST(TestbedTest, TopologiesProduceExpectedConnectivity) {
+  Options chain;
+  chain.nodes = 3;
+  chain.topology = Topology::kChain;
+  chain.spacing = 100;
+  Testbed bed(chain);
+  EXPECT_TRUE(bed.medium().connected(0, 1));
+  EXPECT_TRUE(bed.medium().connected(1, 2));
+  EXPECT_FALSE(bed.medium().connected(0, 2));
+}
+
+TEST(TestbedTest, CallAndWaitReportsFailureStatus) {
+  Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  Testbed bed(o);
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  bed.settle(seconds(2));
+  bed.register_and_wait(alice);
+  const auto result = bed.call_and_wait(alice, "ghost@voicehoc.ch",
+                                        seconds(12));
+  EXPECT_FALSE(result.established);
+  EXPECT_EQ(result.failure_status, 404);
+}
+
+TEST(TestbedTest, ProviderAndInternetHostWiring) {
+  Options o;
+  o.nodes = 1;
+  Testbed bed(o);
+  auto& provider = bed.add_provider("x.org");
+  EXPECT_EQ(provider.config().domain, "x.org");
+  EXPECT_TRUE(bed.internet().resolve("x.org").has_value());
+  auto& host = bed.add_internet_host("h");
+  EXPECT_TRUE(host.has_wired());
+  EXPECT_FALSE(bed.provider_outbound_proxy("x.org").has_value());
+  bed.add_provider("y.org", true);
+  EXPECT_TRUE(bed.provider_outbound_proxy("y.org").has_value());
+}
+
+}  // namespace
+}  // namespace siphoc::scenario
