@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_call_setup.dir/bench_call_setup.cpp.o"
+  "CMakeFiles/bench_call_setup.dir/bench_call_setup.cpp.o.d"
+  "bench_call_setup"
+  "bench_call_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_call_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_voice.cpp" "bench/CMakeFiles/bench_voice.dir/bench_voice.cpp.o" "gcc" "bench/CMakeFiles/bench_voice.dir/bench_voice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_voip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

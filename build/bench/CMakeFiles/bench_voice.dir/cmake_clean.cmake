@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voice.dir/bench_voice.cpp.o"
+  "CMakeFiles/bench_voice.dir/bench_voice.cpp.o.d"
+  "bench_voice"
+  "bench_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_call.dir/campus_call.cpp.o"
+  "CMakeFiles/campus_call.dir/campus_call.cpp.o.d"
+  "campus_call"
+  "campus_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_chat.dir/field_chat.cpp.o"
+  "CMakeFiles/field_chat.dir/field_chat.cpp.o.d"
+  "field_chat"
+  "field_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

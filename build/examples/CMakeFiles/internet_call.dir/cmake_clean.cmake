@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_call.dir/internet_call.cpp.o"
+  "CMakeFiles/internet_call.dir/internet_call.cpp.o.d"
+  "internet_call"
+  "internet_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

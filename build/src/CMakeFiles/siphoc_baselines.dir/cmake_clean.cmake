@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_baselines.dir/baselines/flooding_sip.cpp.o"
+  "CMakeFiles/siphoc_baselines.dir/baselines/flooding_sip.cpp.o.d"
+  "CMakeFiles/siphoc_baselines.dir/baselines/pico_sip.cpp.o"
+  "CMakeFiles/siphoc_baselines.dir/baselines/pico_sip.cpp.o.d"
+  "CMakeFiles/siphoc_baselines.dir/baselines/push_gateway.cpp.o"
+  "CMakeFiles/siphoc_baselines.dir/baselines/push_gateway.cpp.o.d"
+  "libsiphoc_baselines.a"
+  "libsiphoc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

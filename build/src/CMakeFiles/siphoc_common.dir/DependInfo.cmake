@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/siphoc_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/siphoc_common.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/siphoc_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/siphoc_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/md5.cpp" "src/CMakeFiles/siphoc_common.dir/common/md5.cpp.o" "gcc" "src/CMakeFiles/siphoc_common.dir/common/md5.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/siphoc_common.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/siphoc_common.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/siphoc_common.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/siphoc_common.dir/common/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

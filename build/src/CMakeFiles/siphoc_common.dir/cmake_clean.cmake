@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/siphoc_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/siphoc_common.dir/common/logging.cpp.o"
+  "CMakeFiles/siphoc_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/siphoc_common.dir/common/md5.cpp.o"
+  "CMakeFiles/siphoc_common.dir/common/md5.cpp.o.d"
+  "CMakeFiles/siphoc_common.dir/common/random.cpp.o"
+  "CMakeFiles/siphoc_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/siphoc_common.dir/common/strings.cpp.o"
+  "CMakeFiles/siphoc_common.dir/common/strings.cpp.o.d"
+  "libsiphoc_common.a"
+  "libsiphoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_core.dir/siphoc/connection_provider.cpp.o"
+  "CMakeFiles/siphoc_core.dir/siphoc/connection_provider.cpp.o.d"
+  "CMakeFiles/siphoc_core.dir/siphoc/gateway_provider.cpp.o"
+  "CMakeFiles/siphoc_core.dir/siphoc/gateway_provider.cpp.o.d"
+  "CMakeFiles/siphoc_core.dir/siphoc/node_stack.cpp.o"
+  "CMakeFiles/siphoc_core.dir/siphoc/node_stack.cpp.o.d"
+  "CMakeFiles/siphoc_core.dir/siphoc/proxy.cpp.o"
+  "CMakeFiles/siphoc_core.dir/siphoc/proxy.cpp.o.d"
+  "CMakeFiles/siphoc_core.dir/siphoc/tunnel.cpp.o"
+  "CMakeFiles/siphoc_core.dir/siphoc/tunnel.cpp.o.d"
+  "libsiphoc_core.a"
+  "libsiphoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

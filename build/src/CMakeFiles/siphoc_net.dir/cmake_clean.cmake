@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_net.dir/net/address.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/address.cpp.o.d"
+  "CMakeFiles/siphoc_net.dir/net/host.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/siphoc_net.dir/net/internet.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/internet.cpp.o.d"
+  "CMakeFiles/siphoc_net.dir/net/medium.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/medium.cpp.o.d"
+  "CMakeFiles/siphoc_net.dir/net/mobility.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/mobility.cpp.o.d"
+  "CMakeFiles/siphoc_net.dir/net/packet.cpp.o"
+  "CMakeFiles/siphoc_net.dir/net/packet.cpp.o.d"
+  "libsiphoc_net.a"
+  "libsiphoc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/aodv.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/aodv.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/aodv.cpp.o.d"
+  "/root/repo/src/routing/aodv_codec.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/aodv_codec.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/aodv_codec.cpp.o.d"
+  "/root/repo/src/routing/extension.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/extension.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/extension.cpp.o.d"
+  "/root/repo/src/routing/olsr.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/olsr.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/olsr.cpp.o.d"
+  "/root/repo/src/routing/olsr_codec.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/olsr_codec.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/olsr_codec.cpp.o.d"
+  "/root/repo/src/routing/routing_table.cpp" "src/CMakeFiles/siphoc_routing.dir/routing/routing_table.cpp.o" "gcc" "src/CMakeFiles/siphoc_routing.dir/routing/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_routing.dir/routing/aodv.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/aodv.cpp.o.d"
+  "CMakeFiles/siphoc_routing.dir/routing/aodv_codec.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/aodv_codec.cpp.o.d"
+  "CMakeFiles/siphoc_routing.dir/routing/extension.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/extension.cpp.o.d"
+  "CMakeFiles/siphoc_routing.dir/routing/olsr.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/olsr.cpp.o.d"
+  "CMakeFiles/siphoc_routing.dir/routing/olsr_codec.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/olsr_codec.cpp.o.d"
+  "CMakeFiles/siphoc_routing.dir/routing/routing_table.cpp.o"
+  "CMakeFiles/siphoc_routing.dir/routing/routing_table.cpp.o.d"
+  "libsiphoc_routing.a"
+  "libsiphoc_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

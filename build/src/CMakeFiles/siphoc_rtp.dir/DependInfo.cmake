@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/jitter_buffer.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/jitter_buffer.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/jitter_buffer.cpp.o.d"
+  "/root/repo/src/rtp/quality.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/quality.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/quality.cpp.o.d"
+  "/root/repo/src/rtp/rtcp.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/rtcp.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/rtcp.cpp.o.d"
+  "/root/repo/src/rtp/rtp.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/rtp.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/rtp.cpp.o.d"
+  "/root/repo/src/rtp/session.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/session.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/session.cpp.o.d"
+  "/root/repo/src/rtp/voice_source.cpp" "src/CMakeFiles/siphoc_rtp.dir/rtp/voice_source.cpp.o" "gcc" "src/CMakeFiles/siphoc_rtp.dir/rtp/voice_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

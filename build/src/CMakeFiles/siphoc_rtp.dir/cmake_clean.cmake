@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_rtp.dir/rtp/jitter_buffer.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/jitter_buffer.cpp.o.d"
+  "CMakeFiles/siphoc_rtp.dir/rtp/quality.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/quality.cpp.o.d"
+  "CMakeFiles/siphoc_rtp.dir/rtp/rtcp.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/rtcp.cpp.o.d"
+  "CMakeFiles/siphoc_rtp.dir/rtp/rtp.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/rtp.cpp.o.d"
+  "CMakeFiles/siphoc_rtp.dir/rtp/session.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/session.cpp.o.d"
+  "CMakeFiles/siphoc_rtp.dir/rtp/voice_source.cpp.o"
+  "CMakeFiles/siphoc_rtp.dir/rtp/voice_source.cpp.o.d"
+  "libsiphoc_rtp.a"
+  "libsiphoc_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_scenario.dir/scenario/scenario.cpp.o"
+  "CMakeFiles/siphoc_scenario.dir/scenario/scenario.cpp.o.d"
+  "CMakeFiles/siphoc_scenario.dir/scenario/trace.cpp.o"
+  "CMakeFiles/siphoc_scenario.dir/scenario/trace.cpp.o.d"
+  "libsiphoc_scenario.a"
+  "libsiphoc_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/siphoc_sim.dir/sim/simulator.cpp.o.d"
+  "libsiphoc_sim.a"
+  "libsiphoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

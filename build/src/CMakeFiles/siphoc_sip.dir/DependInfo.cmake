@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/auth.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/auth.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/auth.cpp.o.d"
+  "/root/repo/src/sip/dialog.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/dialog.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/dialog.cpp.o.d"
+  "/root/repo/src/sip/headers.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/headers.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/headers.cpp.o.d"
+  "/root/repo/src/sip/message.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/message.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/message.cpp.o.d"
+  "/root/repo/src/sip/outbound_proxy.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/outbound_proxy.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/outbound_proxy.cpp.o.d"
+  "/root/repo/src/sip/registrar.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/registrar.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/registrar.cpp.o.d"
+  "/root/repo/src/sip/sdp.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/sdp.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/sdp.cpp.o.d"
+  "/root/repo/src/sip/transaction.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/transaction.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/transaction.cpp.o.d"
+  "/root/repo/src/sip/transport.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/transport.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/transport.cpp.o.d"
+  "/root/repo/src/sip/uri.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/uri.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/uri.cpp.o.d"
+  "/root/repo/src/sip/user_agent.cpp" "src/CMakeFiles/siphoc_sip.dir/sip/user_agent.cpp.o" "gcc" "src/CMakeFiles/siphoc_sip.dir/sip/user_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_sip.dir/sip/auth.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/auth.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/dialog.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/dialog.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/headers.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/headers.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/message.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/message.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/outbound_proxy.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/outbound_proxy.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/registrar.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/registrar.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/sdp.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/sdp.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/transaction.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/transaction.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/transport.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/transport.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/uri.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/uri.cpp.o.d"
+  "CMakeFiles/siphoc_sip.dir/sip/user_agent.cpp.o"
+  "CMakeFiles/siphoc_sip.dir/sip/user_agent.cpp.o.d"
+  "libsiphoc_sip.a"
+  "libsiphoc_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slp/manet_slp.cpp" "src/CMakeFiles/siphoc_slp.dir/slp/manet_slp.cpp.o" "gcc" "src/CMakeFiles/siphoc_slp.dir/slp/manet_slp.cpp.o.d"
+  "/root/repo/src/slp/multicast_slp.cpp" "src/CMakeFiles/siphoc_slp.dir/slp/multicast_slp.cpp.o" "gcc" "src/CMakeFiles/siphoc_slp.dir/slp/multicast_slp.cpp.o.d"
+  "/root/repo/src/slp/service.cpp" "src/CMakeFiles/siphoc_slp.dir/slp/service.cpp.o" "gcc" "src/CMakeFiles/siphoc_slp.dir/slp/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

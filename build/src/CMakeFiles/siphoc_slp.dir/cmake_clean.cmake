@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_slp.dir/slp/manet_slp.cpp.o"
+  "CMakeFiles/siphoc_slp.dir/slp/manet_slp.cpp.o.d"
+  "CMakeFiles/siphoc_slp.dir/slp/multicast_slp.cpp.o"
+  "CMakeFiles/siphoc_slp.dir/slp/multicast_slp.cpp.o.d"
+  "CMakeFiles/siphoc_slp.dir/slp/service.cpp.o"
+  "CMakeFiles/siphoc_slp.dir/slp/service.cpp.o.d"
+  "libsiphoc_slp.a"
+  "libsiphoc_slp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphoc_voip.dir/voip/softphone.cpp.o"
+  "CMakeFiles/siphoc_voip.dir/voip/softphone.cpp.o.d"
+  "libsiphoc_voip.a"
+  "libsiphoc_voip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphoc_voip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

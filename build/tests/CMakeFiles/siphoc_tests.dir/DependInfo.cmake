@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aodv.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_aodv.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_aodv.cpp.o.d"
+  "/root/repo/tests/test_auth.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_auth.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_auth.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_olsr.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_olsr.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_olsr.cpp.o.d"
+  "/root/repo/tests/test_outbound_proxy.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_outbound_proxy.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_outbound_proxy.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_reinvite.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_reinvite.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_reinvite.cpp.o.d"
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_resilience.cpp.o.d"
+  "/root/repo/tests/test_routing_codec.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_routing_codec.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_routing_codec.cpp.o.d"
+  "/root/repo/tests/test_rtcp.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_rtcp.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_rtcp.cpp.o.d"
+  "/root/repo/tests/test_rtp.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_rtp.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_rtp.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sip_message.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_sip_message.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_sip_message.cpp.o.d"
+  "/root/repo/tests/test_slp.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_slp.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_slp.cpp.o.d"
+  "/root/repo/tests/test_softphone.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_softphone.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_softphone.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transactions.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_transactions.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_transactions.cpp.o.d"
+  "/root/repo/tests/test_tunnel.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_tunnel.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_tunnel.cpp.o.d"
+  "/root/repo/tests/test_user_agent.cpp" "tests/CMakeFiles/siphoc_tests.dir/test_user_agent.cpp.o" "gcc" "tests/CMakeFiles/siphoc_tests.dir/test_user_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/siphoc_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_voip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/siphoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
