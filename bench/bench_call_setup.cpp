@@ -174,5 +174,6 @@ int main() {
       "  * proactive (OLSR) setup is flat: contact cached, route in FIB\n"
       "  * SIPHoc resolves contact and route in ONE flood; the broadcast\n"
       "    baseline pays separate network-wide floods\n");
+  bench::write_metrics_sidecar("bench_call_setup");
   return 0;
 }

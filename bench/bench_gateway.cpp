@@ -194,5 +194,6 @@ int main() {
       "still wait for its own AODV discovery. And only SIPHoc recovers from\n"
       "gateway loss -- the fixed-topology limitation the paper's related-\n"
       "work section calls out in [8].\n");
+  bench::write_metrics_sidecar("bench_gateway");
   return 0;
 }

@@ -153,5 +153,6 @@ int main() {
       "bytes grow only with answered queries); multicast SLP floods per\n"
       "lookup; the proactive HELLO scheme floods every interval whether or\n"
       "not anyone looks anything up.\n");
+  bench::write_metrics_sidecar("bench_slp_overhead");
   return 0;
 }

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 namespace siphoc::bench {
 
 inline double mean(const std::vector<double>& xs) {
@@ -29,6 +31,27 @@ inline void print_header(const std::string& title, const std::string& note) {
   std::printf("\n=== %s ===\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
   std::printf("\n");
+}
+
+/// Clears the registry between bench cells so each run's sidecar reflects
+/// only that run. Invalidates previously bound instrument references --
+/// call only between simulator builds, never mid-run.
+inline void reset_metrics() { MetricsRegistry::instance().reset(); }
+
+/// Writes `<name>.metrics.json` (and `.csv`) next to the bench's stdout
+/// tables: the machine-readable version of the run, in the schema
+/// documented in docs/METRICS.md. Returns false (after a stderr note) if
+/// the files cannot be written.
+inline bool write_metrics_sidecar(const std::string& name) {
+  auto& registry = MetricsRegistry::instance();
+  const bool json_ok =
+      MetricsRegistry::write_file(name + ".metrics.json", registry.to_json());
+  const bool csv_ok =
+      MetricsRegistry::write_file(name + ".metrics.csv", registry.to_csv());
+  if (json_ok) {
+    std::printf("metrics sidecar: %s.metrics.json\n", name.c_str());
+  }
+  return json_ok && csv_ok;
 }
 
 }  // namespace siphoc::bench

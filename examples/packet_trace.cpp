@@ -10,6 +10,7 @@
 // prints the decoded service records and a hex dump of the frame payload.
 #include <cstdio>
 
+#include "common/metrics.hpp"
 #include "routing/aodv_codec.hpp"
 #include "scenario/scenario.hpp"
 #include "slp/service.hpp"
@@ -94,6 +95,11 @@ int main() {
   std::printf("\n=== Figure 4 (after call): node 0 learned Bob's contact ===\n");
   for (const auto& entry : bed.stack(0).slp().snapshot()) {
     std::printf("  %s\n", entry.to_string().c_str());
+  }
+  auto& registry = MetricsRegistry::instance();
+  if (MetricsRegistry::write_file("packet_trace.metrics.json",
+                                  registry.to_json())) {
+    std::printf("\nmetrics sidecar: packet_trace.metrics.json\n");
   }
   return result.established ? 0 : 1;
 }

@@ -8,6 +8,10 @@
 //   ./scenario_runner            # run the built-in demo script
 //   ./scenario_runner my.scn     # run a script file
 //
+// Options:
+//   --metrics PATH       write the metrics sidecar (JSON, siphoc.metrics.v1)
+//   --metrics-csv PATH   same registry contents as CSV
+//
 // Script commands (one per line; '#' starts a comment):
 //   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
 //   seed VALUE                                    -- RNG seed (before nodes)
@@ -27,6 +31,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace.hpp"
@@ -210,17 +215,34 @@ struct Runner {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string script_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--metrics-csv" && i + 1 < argc) {
+      metrics_csv_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      script_path = arg;
+    }
+  }
+
   std::string script;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (!script_path.empty()) {
+    std::ifstream file(script_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
       return 2;
     }
     std::stringstream ss;
     ss << file.rdbuf();
     script = ss.str();
-    std::printf("== scenario: %s ==\n", argv[1]);
+    std::printf("== scenario: %s ==\n", script_path.c_str());
   } else {
     script = kBuiltinScript;
     std::printf("== built-in demo scenario ==\n");
@@ -230,6 +252,20 @@ int main(int argc, char** argv) {
   for (const auto& line : split(script, '\n')) {
     runner.run_line(line);
   }
+
+  auto& registry = MetricsRegistry::instance();
+  if (!metrics_path.empty()) {
+    if (MetricsRegistry::write_file(metrics_path, registry.to_json())) {
+      std::printf("metrics sidecar written to %s\n", metrics_path.c_str());
+    } else {
+      ++runner.errors;
+    }
+  }
+  if (!metrics_csv_path.empty() &&
+      !MetricsRegistry::write_file(metrics_csv_path, registry.to_csv())) {
+    ++runner.errors;
+  }
+
   std::printf("\nscenario finished with %d error(s).\n", runner.errors);
   return runner.errors == 0 ? 0 : 1;
 }

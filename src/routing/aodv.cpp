@@ -8,8 +8,28 @@ using aodv::Rerr;
 using aodv::Rrep;
 using aodv::Rreq;
 
+Aodv::Metrics::Metrics(std::string_view node)
+    : routing("aodv", node),
+      rreq_originated(MetricsRegistry::instance().counter(
+          "aodv.rreq_originated_total", node, "aodv")),
+      rreq_forwarded(MetricsRegistry::instance().counter(
+          "aodv.rreq_forwarded_total", node, "aodv")),
+      rrep_tx(MetricsRegistry::instance().counter("aodv.rrep_tx_total", node,
+                                                  "aodv")),
+      rerr_tx(MetricsRegistry::instance().counter("aodv.rerr_tx_total", node,
+                                                  "aodv")),
+      hello_tx(MetricsRegistry::instance().counter("aodv.hello_tx_total", node,
+                                                   "aodv")),
+      discoveries(MetricsRegistry::instance().counter(
+          "aodv.route_discoveries_total", node, "aodv")),
+      discovery_failures(MetricsRegistry::instance().counter(
+          "aodv.discovery_failures_total", node, "aodv")),
+      discovery_ms(MetricsRegistry::instance().histogram(
+          "routing.route_discovery_ms", kLatencyBucketsMs, node, "aodv")) {}
+
 Aodv::Aodv(net::Host& host, AodvConfig config)
-    : host_(host), config_(config), log_("aodv", host.name()) {
+    : host_(host), config_(config), log_("aodv", host.name()),
+      metrics_(host.name()) {
   table_.set_callbacks([this](const AodvRoute& r) { install_fib(r); },
                        [this](const AodvRoute& r) { remove_fib(r); });
 }
@@ -78,6 +98,15 @@ void Aodv::send_packet(const aodv::Message& message, net::Address unicast_to,
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += wire.size();
   stats_.extension_bytes_sent += ext.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
+  metrics_.routing.piggyback_bytes.add(ext.size());
+  switch (info.kind) {
+    case PacketKind::kAodvHello: metrics_.hello_tx.add(); break;
+    case PacketKind::kAodvRrep: metrics_.rrep_tx.add(); break;
+    case PacketKind::kAodvRerr: metrics_.rerr_tx.add(); break;
+    default: break;
+  }
   if (unicast_to.is_unspecified()) {
     host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
   } else {
@@ -97,6 +126,10 @@ void Aodv::broadcast_rreq(Rreq rreq, const Bytes& query_ext) {
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += wire.size();
   stats_.extension_bytes_sent += ext.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
+  metrics_.routing.piggyback_bytes.add(ext.size());
+  metrics_.rreq_originated.add();
   host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
 }
 
@@ -177,6 +210,10 @@ void Aodv::handle_rreq(const Rreq& m, const Bytes& ext, net::Address from) {
       ++stats_.control_packets_sent;
       stats_.control_bytes_sent += wire.size();
       stats_.extension_bytes_sent += verdict.reply_extension.size();
+      metrics_.routing.control_packets.add();
+      metrics_.routing.control_bytes.add(wire.size());
+      metrics_.routing.piggyback_bytes.add(verdict.reply_extension.size());
+      metrics_.rrep_tx.add();
       host_.send_udp(net::kAodvPort, {from, net::kAodvPort}, std::move(wire));
       return;  // answered floods are not propagated further by this node
     }
@@ -228,6 +265,9 @@ void Aodv::handle_rreq(const Rreq& m, const Bytes& ext, net::Address from) {
   Bytes wire = aodv::encode(fwd, ext);
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += wire.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
+  metrics_.rreq_forwarded.add();
   host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
 }
 
@@ -278,6 +318,9 @@ void Aodv::handle_rrep(const Rrep& m, const Bytes& ext, net::Address from) {
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += wire.size();
   stats_.extension_bytes_sent += ext.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
+  metrics_.routing.piggyback_bytes.add(ext.size());
   host_.send_udp(net::kAodvPort, {reverse->next_hop, net::kAodvPort},
                  std::move(wire));
 }
@@ -323,7 +366,9 @@ void Aodv::start_discovery(net::Address dst) {
   auto& pending = discoveries_[dst];
   pending.ttl = config_.ttl_start;
   pending.retries = 0;
+  pending.started = now();
   ++stats_.route_discoveries;
+  metrics_.discoveries.add();
   send_rreq_for(dst, pending);
 }
 
@@ -374,6 +419,7 @@ void Aodv::on_discovery_timeout(net::Address dst) {
     return;
   }
   ++stats_.discovery_failures;
+  metrics_.discovery_failures.add();
   log_.debug("route discovery for ",
              dst.is_unspecified() ? std::string("<service>") : dst.to_string(),
              " failed after ", pending.retries, " retries; dropping ",
@@ -385,6 +431,10 @@ void Aodv::flush_buffered(net::Address dst) {
   const auto it = discoveries_.find(dst);
   if (it == discoveries_.end()) return;
   auto buffered = std::move(it->second.buffered);
+  metrics_.discovery_ms.observe(to_millis(now() - it->second.started));
+  MetricsRegistry::instance().record_span("route_discovery", "aodv",
+                                          host_.name(), it->second.started,
+                                          now());
   it->second.timeout.cancel();
   discoveries_.erase(it);
   for (auto& d : buffered) host_.send_datagram(std::move(d));
@@ -397,7 +447,9 @@ bool Aodv::flood_query(Bytes extension) {
   pending.query_extension = std::move(extension);
   pending.ttl = config_.net_diameter;  // service floods go network-wide
   pending.retries = 0;
+  pending.started = now();
   ++stats_.route_discoveries;
+  metrics_.discoveries.add();
   send_rreq_for(net::Address{}, pending);
   return true;
 }

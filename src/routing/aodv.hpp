@@ -73,6 +73,20 @@ class Aodv final : public Protocol {
     sim::EventHandle timeout;
     bool service_query = false;
     Bytes query_extension;
+    TimePoint started{};  // discovery latency span start
+  };
+
+  struct Metrics {
+    explicit Metrics(std::string_view node);
+    RoutingMetrics routing;
+    Counter& rreq_originated;
+    Counter& rreq_forwarded;
+    Counter& rrep_tx;
+    Counter& rerr_tx;
+    Counter& hello_tx;
+    Counter& discoveries;
+    Counter& discovery_failures;
+    Histogram& discovery_ms;
   };
 
   net::Address self() const { return host_.manet_address(); }
@@ -125,6 +139,7 @@ class Aodv final : public Protocol {
   sim::PeriodicTimer hello_timer_;
   sim::PeriodicTimer housekeeping_timer_;
   RoutingStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace siphoc::routing

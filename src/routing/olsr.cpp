@@ -12,8 +12,18 @@ using olsr::MsgType;
 using olsr::Packet;
 using olsr::Tc;
 
+Olsr::Metrics::Metrics(std::string_view node)
+    : routing("olsr", node),
+      hello_tx(MetricsRegistry::instance().counter("olsr.hello_tx_total", node,
+                                                   "olsr")),
+      tc_tx(MetricsRegistry::instance().counter("olsr.tc_tx_total", node,
+                                                "olsr")),
+      tc_forwarded(MetricsRegistry::instance().counter(
+          "olsr.tc_forwarded_total", node, "olsr")) {}
+
 Olsr::Olsr(net::Host& host, OlsrConfig config)
-    : host_(host), config_(config), log_("olsr", host.name()) {}
+    : host_(host), config_(config), log_("olsr", host.name()),
+      metrics_(host.name()) {}
 
 Olsr::~Olsr() { stop(); }
 
@@ -95,6 +105,7 @@ void Olsr::send_hello() {
     m.extension = handler_->on_outgoing(
         PacketInfo{PacketKind::kOlsrHello, self(), net::Address{}});
   }
+  metrics_.hello_tx.add();
   transmit(std::move(m));
 }
 
@@ -120,6 +131,7 @@ void Olsr::send_tc() {
   m.extension = std::move(ext);
   duplicates_.insert({self(), m.msg_seq});
   duplicate_ttl_[{self(), m.msg_seq}] = now() + seconds(30);
+  metrics_.tc_tx.add();
   transmit(std::move(m));
 }
 
@@ -127,10 +139,13 @@ void Olsr::transmit(Message message) {
   Packet p;
   p.pkt_seq = ++pkt_seq_;
   stats_.extension_bytes_sent += message.extension.size();
+  metrics_.routing.piggyback_bytes.add(message.extension.size());
   p.messages.push_back(std::move(message));
   Bytes wire = olsr::encode(p);
   ++stats_.control_packets_sent;
   stats_.control_bytes_sent += wire.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
   host_.send_broadcast(net::kOlsrPort, net::kOlsrPort, std::move(wire));
 }
 
@@ -246,6 +261,7 @@ void Olsr::maybe_forward(const Message& m, net::Address prev_hop) {
   Message fwd = m;
   fwd.ttl -= 1;
   fwd.hop_count += 1;
+  metrics_.tc_forwarded.add();
   transmit(std::move(fwd));
 }
 

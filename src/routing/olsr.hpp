@@ -70,6 +70,14 @@ class Olsr final : public Protocol {
     TimePoint expires{};
   };
 
+  struct Metrics {
+    explicit Metrics(std::string_view node);
+    RoutingMetrics routing;
+    Counter& hello_tx;
+    Counter& tc_tx;
+    Counter& tc_forwarded;
+  };
+
   net::Address self() const { return host_.manet_address(); }
   TimePoint now() const { return host_.sim().now(); }
 
@@ -117,6 +125,7 @@ class Olsr final : public Protocol {
   sim::EventHandle route_calc_;
   bool route_calc_pending_ = false;
   RoutingStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace siphoc::routing

@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "common/metrics.hpp"
 #include "net/address.hpp"
 
 namespace siphoc::routing {
@@ -79,6 +80,24 @@ struct RoutingStats {
   std::uint64_t route_discoveries = 0;
   std::uint64_t discovery_failures = 0;
   std::uint64_t route_errors_sent = 0;
+};
+
+/// Registry series shared by both daemons: the same three names with the
+/// component label telling AODV from OLSR, so overhead benches can sum
+/// across protocols without knowing which one ran. Bound once per daemon
+/// instance; see docs/METRICS.md for the catalog entry of each name.
+struct RoutingMetrics {
+  RoutingMetrics(std::string_view component, std::string_view node)
+      : control_packets(MetricsRegistry::instance().counter(
+            "routing.control_packets_total", node, component)),
+        control_bytes(MetricsRegistry::instance().counter(
+            "routing.control_bytes_total", node, component)),
+        piggyback_bytes(MetricsRegistry::instance().counter(
+            "routing.piggyback_bytes_total", node, component)) {}
+
+  Counter& control_packets;
+  Counter& control_bytes;
+  Counter& piggyback_bytes;
 };
 
 /// Common surface of the MANET routing daemons (AODV, OLSR).

@@ -2,21 +2,31 @@
 
 namespace siphoc::rtp {
 
+void JitterBuffer::bind_metrics(std::string_view node) {
+  auto& r = MetricsRegistry::instance();
+  late_counter_ = &r.counter("rtp.late_drops_total", node, "rtp");
+  duplicate_counter_ = &r.counter("rtp.duplicate_drops_total", node, "rtp");
+  played_counter_ = &r.counter("rtp.played_total", node, "rtp");
+}
+
 bool JitterBuffer::insert(const RtpPacket& packet, TimePoint arrival,
                           TimePoint sent) {
   const TimePoint playout = sent + playout_delay_;
   if (arrival > playout) {
     ++late_drops_;
+    if (late_counter_ != nullptr) late_counter_->add();
     return false;
   }
   if (queue_.contains(packet.sequence)) {
     ++duplicate_drops_;
+    if (duplicate_counter_ != nullptr) duplicate_counter_->add();
     return false;
   }
   // A frame older than the most recently played one is also too late.
   if (last_played_seq_ &&
       static_cast<std::int16_t>(packet.sequence - *last_played_seq_) <= 0) {
     ++late_drops_;
+    if (late_counter_ != nullptr) late_counter_->add();
     return false;
   }
   queue_[packet.sequence] = Slot{packet, playout};
@@ -30,6 +40,7 @@ std::optional<RtpPacket> JitterBuffer::pop_due(TimePoint now) {
       last_played_seq_ = packet.sequence;
       queue_.erase(it);
       ++played_;
+      if (played_counter_ != nullptr) played_counter_->add();
       return packet;
     }
   }

@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 
+#include "common/metrics.hpp"
 #include "common/time.hpp"
 #include "rtp/rtp.hpp"
 
@@ -18,6 +19,10 @@ class JitterBuffer {
  public:
   explicit JitterBuffer(Duration playout_delay = milliseconds(60))
       : playout_delay_(playout_delay) {}
+
+  /// Publishes drop/playout counters as registry series labeled with
+  /// `node` (component "rtp"); optional, like ReceiverStats::bind_metrics.
+  void bind_metrics(std::string_view node);
 
   /// Inserts a received packet; returns false when the packet arrived after
   /// its playout deadline (late loss) or is a duplicate.
@@ -44,6 +49,10 @@ class JitterBuffer {
   std::uint64_t late_drops_ = 0;
   std::uint64_t duplicate_drops_ = 0;
   std::uint64_t played_ = 0;
+
+  Counter* late_counter_ = nullptr;
+  Counter* duplicate_counter_ = nullptr;
+  Counter* played_counter_ = nullptr;
 };
 
 }  // namespace siphoc::rtp

@@ -5,6 +5,14 @@
 
 namespace siphoc::rtp {
 
+void ReceiverStats::bind_metrics(std::string_view node) {
+  auto& r = MetricsRegistry::instance();
+  rx_counter_ = &r.counter("rtp.packets_rx_total", node, "rtp");
+  reordered_counter_ = &r.counter("rtp.packets_reordered_total", node, "rtp");
+  lost_gauge_ = &r.gauge("rtp.packets_lost", node, "rtp");
+  jitter_gauge_ = &r.gauge("rtp.jitter_ms", node, "rtp");
+}
+
 void ReceiverStats::on_packet(const RtpPacket& packet, TimePoint arrival,
                               TimePoint sent) {
   const Duration transit = arrival - sent;
@@ -20,6 +28,8 @@ void ReceiverStats::on_packet(const RtpPacket& packet, TimePoint arrival,
     if (delta > 0) {
       if (packet.sequence < highest_seq_) ++seq_cycles_;
       highest_seq_ = packet.sequence;
+    } else if (reordered_counter_ != nullptr) {
+      reordered_counter_->add();
     }
     // Interarrival jitter (RFC 6.4.1): J += (|D| - J) / 16.
     const double d = std::abs(
@@ -31,6 +41,11 @@ void ReceiverStats::on_packet(const RtpPacket& packet, TimePoint arrival,
   ++received_;
   total_delay_ += transit;
   max_delay_ = std::max(max_delay_, transit);
+  if (rx_counter_ != nullptr) {
+    rx_counter_->add();
+    lost_gauge_->set(static_cast<double>(lost()));
+    jitter_gauge_->set(jitter_us_ / 1000.0);
+  }
 }
 
 std::uint64_t ReceiverStats::expected() const {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/metrics.hpp"
 #include "common/time.hpp"
 #include "rtp/rtp.hpp"
 
@@ -16,6 +17,13 @@ namespace siphoc::rtp {
 /// Interarrival jitter and loss bookkeeping per RFC 3550 6.4 / A.8.
 class ReceiverStats {
  public:
+  /// Publishes this receiver's counters/gauges as registry series labeled
+  /// with `node` (component "rtp"). Unbound stats keep working standalone
+  /// (unit tests construct them without a host); binding is how the RTP
+  /// session reports into the shared observability surface instead of
+  /// duplicating the bookkeeping.
+  void bind_metrics(std::string_view node);
+
   void on_packet(const RtpPacket& packet, TimePoint arrival, TimePoint sent);
 
   std::uint64_t received() const { return received_; }
@@ -49,6 +57,11 @@ class ReceiverStats {
   Duration max_delay_{};
   std::uint64_t expected_prior_ = 0;
   std::uint64_t received_prior_ = 0;
+
+  Counter* rx_counter_ = nullptr;
+  Counter* reordered_counter_ = nullptr;
+  Gauge* lost_gauge_ = nullptr;
+  Gauge* jitter_gauge_ = nullptr;
 };
 
 /// E-model inputs: end-to-end (mouth-to-ear) delay and effective packet

@@ -9,7 +9,10 @@ Session::Session(net::Host& host, SessionConfig config)
       source_(config.voice, host.rng().fork()),
       jitter_(config.playout_delay),
       ssrc_(host.rng().uniform_int(1, 0xffffffff)),
-      seq_(static_cast<std::uint16_t>(host.rng().uniform_int(0, 0xffff))) {}
+      seq_(static_cast<std::uint16_t>(host.rng().uniform_int(0, 0xffff))) {
+  stats_.bind_metrics(host.name());
+  jitter_.bind_metrics(host.name());
+}
 
 Session::~Session() { stop(); }
 
@@ -51,6 +54,9 @@ void Session::on_frame_timer() {
       ++seq_, timestamp_, ssrc_, tick.spurt_start, host_.sim().now());
   ++sent_;
   sent_octets_ += packet.payload.size();
+  MetricsRegistry::instance()
+      .counter("rtp.packets_tx_total", host_.name(), "rtp")
+      .add();
   host_.send_udp(config_.local_port, config_.remote, packet.encode());
 }
 

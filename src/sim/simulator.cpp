@@ -2,13 +2,19 @@
 
 #include <cassert>
 
+#include "common/metrics.hpp"
+
 namespace siphoc::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
   Logging::instance().set_time_source([this] { return now_; });
+  MetricsRegistry::instance().set_time_source([this] { return now_; });
 }
 
-Simulator::~Simulator() { Logging::instance().set_time_source(nullptr); }
+Simulator::~Simulator() {
+  Logging::instance().set_time_source(nullptr);
+  MetricsRegistry::instance().set_time_source(nullptr);
+}
 
 EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
   assert(delay >= Duration::zero());

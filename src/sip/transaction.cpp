@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace siphoc::sip {
+namespace {
+
+Counter& sip_counter(const std::string& name, const std::string& node) {
+  return MetricsRegistry::instance().counter(name, node, "sip");
+}
+
+// Response-class series name: "sip.responses_rx.2xx" etc.
+std::string class_name(const char* direction, int status) {
+  return std::string("sip.responses_") + direction + "." +
+         std::to_string(status / 100) + "xx";
+}
+
+}  // namespace
 
 // ===========================================================================
 // ClientTransaction
@@ -26,6 +41,8 @@ ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request,
 }
 
 void ClientTransaction::start() {
+  started_ = layer_.sim().now();
+  sip_counter("sip.client_tx." + method_, layer_.node()).add();
   layer_.transport().send(request_, destination_);
   retransmit_interval_ = layer_.timers().t1;
   retransmit_timer_ = layer_.sim().schedule(retransmit_interval_,
@@ -39,6 +56,7 @@ void ClientTransaction::retransmit() {
       !(state_ == State::kProceeding && !is_invite())) {
     return;
   }
+  sip_counter("sip.retransmits_total", layer_.node()).add();
   layer_.transport().send(request_, destination_);
   // Timer A doubles unbounded; Timer E doubles capped at T2 (RFC 17.1.2.1).
   retransmit_interval_ = retransmit_interval_ * 2;
@@ -51,6 +69,7 @@ void ClientTransaction::retransmit() {
 
 void ClientTransaction::on_timeout() {
   if (state_ == State::kCompleted || state_ == State::kTerminated) return;
+  sip_counter("sip.tx_timeouts_total", layer_.node()).add();
   cancel_timers();
   state_ = State::kTerminated;
   if (callback_) callback_(std::nullopt);
@@ -63,6 +82,18 @@ void ClientTransaction::on_response(const Message& response) {
     case State::kCalling:
     case State::kTrying:
     case State::kProceeding: {
+      sip_counter(class_name("rx", status), layer_.node()).add();
+      if (status >= 200 && is_invite()) {
+        // Final answer to our INVITE: the request->final-response interval
+        // is the paper's call-setup building block.
+        MetricsRegistry::instance().histogram("sip.invite_rtt_ms",
+                                              kLatencyBucketsMs,
+                                              layer_.node(), "sip")
+            .observe(to_millis(layer_.sim().now() - started_));
+        MetricsRegistry::instance().record_span("invite_transaction", "sip",
+                                                layer_.node(), started_,
+                                                layer_.sim().now());
+      }
       if (status < 200) {
         state_ = State::kProceeding;
         if (is_invite()) retransmit_timer_.cancel();
@@ -149,6 +180,7 @@ void ServerTransaction::respond(int status, std::string reason) {
 }
 
 void ServerTransaction::respond(Message response) {
+  sip_counter(class_name("tx", response.status()), layer_.node()).add();
   last_response_ = std::move(response);
   if (!layer_.transport().send_response(*last_response_)) {
     // Unroutable Via (e.g. symbolic host with no received param): fall back
@@ -177,6 +209,7 @@ void ServerTransaction::respond(Message response) {
 
 void ServerTransaction::retransmit_final() {
   if (state_ != State::kCompleted || !last_response_) return;
+  sip_counter("sip.retransmits_total", layer_.node()).add();
   if (!layer_.transport().send_response(*last_response_)) {
     layer_.transport().send(*last_response_, peer_);
   }
@@ -222,6 +255,7 @@ TransactionLayer::TransactionLayer(Transport& transport, std::string via_host,
     : transport_(transport),
       via_host_(std::move(via_host)),
       via_port_(via_port),
+      node_(transport.host().name()),
       timers_(timers),
       rng_(transport.host().rng().fork()) {
   transport_.set_handler([this](Message m, net::Endpoint from) {
@@ -305,6 +339,7 @@ void TransactionLayer::dispatch_request(Message request, net::Endpoint from) {
 
   auto txn = std::shared_ptr<ServerTransaction>(
       new ServerTransaction(*this, std::move(request), from));
+  sip_counter("sip.server_tx." + txn->method_, node_).add();
   servers_[key] = txn;
   if (request_handler_) {
     request_handler_(txn, txn->request_);

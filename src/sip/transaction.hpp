@@ -64,6 +64,7 @@ class ClientTransaction {
   std::string branch_;
   std::string method_;
   State state_;
+  TimePoint started_{};  // transaction RTT span start
   Duration retransmit_interval_{};
   sim::EventHandle retransmit_timer_;
   sim::EventHandle timeout_timer_;
@@ -158,6 +159,8 @@ class TransactionLayer {
   const TimerConfig& timers() const { return timers_; }
   const std::string& via_host() const { return via_host_; }
   std::uint16_t via_port() const { return via_port_; }
+  /// Node label for registry series (the owning host's name).
+  const std::string& node() const { return node_; }
 
   std::size_t client_count() const { return clients_.size(); }
   std::size_t server_count() const { return servers_.size(); }
@@ -176,6 +179,7 @@ class TransactionLayer {
   Transport& transport_;
   std::string via_host_;
   std::uint16_t via_port_;
+  std::string node_;
   TimerConfig timers_;
   Rng rng_;
   RequestHandler request_handler_;

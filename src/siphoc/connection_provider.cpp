@@ -1,5 +1,7 @@
 #include "siphoc/connection_provider.hpp"
 
+#include "common/metrics.hpp"
+
 namespace siphoc {
 
 ConnectionProvider::ConnectionProvider(net::Host& host,
@@ -16,6 +18,18 @@ ConnectionProvider::ConnectionProvider(net::Host& host,
           log_.info("attached to the Internet as ", address.to_string());
         } else {
           log_.info("detached from the Internet");
+          // The next successful reattach is a failover from this loss.
+          MetricsRegistry::instance()
+              .counter("connprov.tunnel_losses_total", host_.name(),
+                       "connprov")
+              .add();
+          failover_pending_ = true;
+        }
+        if (connected && failover_pending_) {
+          failover_pending_ = false;
+          MetricsRegistry::instance()
+              .counter("connprov.failovers_total", host_.name(), "connprov")
+              .add();
         }
         if (on_change_) on_change_(internet_available());
       }) {}
@@ -60,6 +74,9 @@ void ConnectionProvider::tick() {
   }
   lookup_in_flight_ = true;
   ++discoveries_;
+  MetricsRegistry::instance()
+      .counter("connprov.gateway_discoveries_total", host_.name(), "connprov")
+      .add();
   directory_.lookup(
       std::string(slp::kGatewayService), "", config_.lookup_timeout,
       [this](std::optional<slp::ServiceEntry> entry) {

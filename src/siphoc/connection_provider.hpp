@@ -49,6 +49,7 @@ class ConnectionProvider {
   sim::PeriodicTimer timer_;
   bool started_ = false;
   bool lookup_in_flight_ = false;
+  bool failover_pending_ = false;  // tunnel lost; next attach is a failover
   std::uint64_t discoveries_ = 0;
 };
 

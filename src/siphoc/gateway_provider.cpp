@@ -1,5 +1,7 @@
 #include "siphoc/gateway_provider.hpp"
 
+#include "common/metrics.hpp"
+
 namespace siphoc {
 
 GatewayProvider::GatewayProvider(net::Host& host, slp::Directory& directory,
@@ -45,6 +47,9 @@ void GatewayProvider::tick() {
   // our tunnel server. The key is this gateway's own address so multiple
   // gateways coexist in every cache (clients find any via wildcard lookup).
   const net::Endpoint ep{host_.manet_address(), net::kTunnelPort};
+  MetricsRegistry::instance()
+      .counter("gateway.advertisements_total", host_.name(), "gateway")
+      .add();
   directory_.register_service(std::string(slp::kGatewayService),
                               host_.manet_address().to_string(),
                               ep.to_string(), config_.advertise_lifetime);

@@ -1,8 +1,18 @@
 #include "siphoc/tunnel.hpp"
 
+#include "common/metrics.hpp"
+
 namespace siphoc {
 
 using tunnel::MsgType;
+
+namespace {
+
+Counter& tun_counter(const std::string& name, const std::string& node) {
+  return MetricsRegistry::instance().counter(name, node, "tunnel");
+}
+
+}  // namespace
 
 // ===========================================================================
 // TunnelServer
@@ -70,6 +80,10 @@ void TunnelServer::on_packet(const net::Datagram& d) {
         });
         log_.info("client ", d.src.to_string(), " attached as ",
                   assigned.to_string());
+        tun_counter("tunnel.clients_attached_total", host_.name()).add();
+        MetricsRegistry::instance()
+            .gauge("tunnel.clients", host_.name(), "tunnel")
+            .set(static_cast<double>(clients_.size()));
       }
       clients_[assigned].last_seen = host_.sim().now();
       Bytes reply;
@@ -92,6 +106,9 @@ void TunnelServer::on_packet(const net::Datagram& d) {
       it->second.last_seen = host_.sim().now();
       ++stats_.datagrams_to_internet;
       stats_.bytes_relayed += inner->wire_size();
+      tun_counter("tunnel.datagrams_up_total", host_.name()).add();
+      tun_counter("tunnel.bytes_relayed_total", host_.name())
+          .add(inner->wire_size());
       if (host_.internet() != nullptr) host_.internet()->send(*inner);
       break;
     }
@@ -113,6 +130,9 @@ void TunnelServer::on_packet(const net::Datagram& d) {
           if (host_.internet() != nullptr) host_.internet()->detach(it->first);
           log_.info("client ", it->first.to_string(), " disconnected");
           it = clients_.erase(it);
+          MetricsRegistry::instance()
+              .gauge("tunnel.clients", host_.name(), "tunnel")
+              .set(static_cast<double>(clients_.size()));
         } else {
           ++it;
         }
@@ -132,6 +152,9 @@ void TunnelServer::relay_to_client(const Client& client,
   w.raw(inner.encode());
   ++stats_.datagrams_to_clients;
   stats_.bytes_relayed += inner.wire_size();
+  tun_counter("tunnel.datagrams_down_total", host_.name()).add();
+  tun_counter("tunnel.bytes_relayed_total", host_.name())
+      .add(inner.wire_size());
   host_.send_udp(net::kTunnelPort, client.manet_endpoint, std::move(wire));
 }
 
@@ -142,6 +165,10 @@ void TunnelServer::expire_clients() {
       if (host_.internet() != nullptr) host_.internet()->detach(it->first);
       log_.info("client ", it->first.to_string(), " expired");
       it = clients_.erase(it);
+      tun_counter("tunnel.clients_expired_total", host_.name()).add();
+      MetricsRegistry::instance()
+          .gauge("tunnel.clients", host_.name(), "tunnel")
+          .set(static_cast<double>(clients_.size()));
     } else {
       ++it;
     }
@@ -163,6 +190,7 @@ TunnelClient::~TunnelClient() {
 void TunnelClient::connect(net::Endpoint gateway) {
   if (connected_ || connecting_) return;
   connecting_ = true;
+  connect_started_ = host_.sim().now();
   gateway_ = gateway;
   host_.bind(net::kTunnelClientPort,
              [this](const net::Datagram& d, const net::RxInfo&) {
@@ -201,6 +229,14 @@ void TunnelClient::on_packet(const net::Datagram& d) {
       tunnel_address_ = net::Address{*assigned};
       log_.info("tunnel up, address ", tunnel_address_.to_string(), " via ",
                 gateway_.to_string());
+      tun_counter("tunnel.connects_total", host_.name()).add();
+      MetricsRegistry::instance()
+          .histogram("tunnel.connect_ms", kLatencyBucketsMs, host_.name(),
+                     "tunnel")
+          .observe(to_millis(host_.sim().now() - connect_started_));
+      MetricsRegistry::instance().record_span("tunnel_connect", "tunnel",
+                                              host_.name(), connect_started_,
+                                              host_.sim().now());
 
       host_.attach_tunnel(tunnel_address_, [this](net::Datagram inner) {
         encapsulate(std::move(inner));
@@ -221,6 +257,8 @@ void TunnelClient::on_packet(const net::Datagram& d) {
       if (!inner_bytes) return;
       auto inner = net::Datagram::decode(*inner_bytes);
       if (!inner) return;
+      tun_counter("tunnel.bytes_rx_total", host_.name())
+          .add(inner->wire_size());
       host_.inject(std::move(*inner), net::Interface::kTunnel);
       break;
     }
@@ -234,6 +272,7 @@ void TunnelClient::on_packet(const net::Datagram& d) {
 }
 
 void TunnelClient::encapsulate(net::Datagram inner) {
+  tun_counter("tunnel.bytes_tx_total", host_.name()).add(inner.wire_size());
   Bytes wire;
   BufferWriter w(wire);
   w.u8(static_cast<std::uint8_t>(MsgType::kData));
@@ -243,6 +282,7 @@ void TunnelClient::encapsulate(net::Datagram inner) {
 
 void TunnelClient::send_keepalive() {
   if (++missed_keepalives_ > tunnel::kMaxMissedKeepalives) {
+    tun_counter("tunnel.keepalive_timeouts_total", host_.name()).add();
     log_.info("gateway ", gateway_.to_string(), " unreachable, tunnel down");
     teardown(true);
     return;
@@ -262,6 +302,9 @@ void TunnelClient::teardown(bool notify) {
   host_.unbind(net::kTunnelClientPort);
   host_.detach_tunnel();  // also clears the tunnel routes
   tunnel_address_ = net::Address{};
+  if (was_connected) {
+    tun_counter("tunnel.disconnects_total", host_.name()).add();
+  }
   if (notify && on_state_ && was_connected) on_state_(false, net::Address{});
 }
 

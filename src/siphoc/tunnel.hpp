@@ -87,6 +87,7 @@ class TunnelClient {
   StateCallback on_state_;
   bool connecting_ = false;
   bool connected_ = false;
+  TimePoint connect_started_{};  // tunnel_connect span start
   net::Endpoint gateway_;
   net::Address tunnel_address_;
   int missed_keepalives_ = 0;

@@ -4,12 +4,33 @@
 
 namespace siphoc::slp {
 
+ManetSlp::Metrics::Metrics(std::string_view node)
+    : lookups(MetricsRegistry::instance().counter("slp.lookups_total", node,
+                                                  "slp")),
+      cache_hits(MetricsRegistry::instance().counter("slp.cache_hits_total",
+                                                     node, "slp")),
+      remote_resolves(MetricsRegistry::instance().counter(
+          "slp.remote_resolves_total", node, "slp")),
+      lookup_timeouts(MetricsRegistry::instance().counter(
+          "slp.lookup_timeouts_total", node, "slp")),
+      adverts_piggybacked(MetricsRegistry::instance().counter(
+          "slp.adverts_piggybacked_total", node, "slp")),
+      queries_answered(MetricsRegistry::instance().counter(
+          "slp.queries_answered_total", node, "slp")),
+      entries_absorbed(MetricsRegistry::instance().counter(
+          "slp.entries_absorbed_total", node, "slp")),
+      cache_entries(MetricsRegistry::instance().gauge("slp.cache_entries",
+                                                      node, "slp")),
+      resolve_ms(MetricsRegistry::instance().histogram(
+          "slp.resolve_ms", kLatencyBucketsMs, node, "slp")) {}
+
 ManetSlp::ManetSlp(net::Host& host, routing::Protocol& protocol,
                    ManetSlpConfig config)
     : host_(host),
       protocol_(protocol),
       config_(config),
-      log_("slp", host.name()) {
+      log_("slp", host.name()),
+      metrics_(host.name()) {
   protocol_.set_handler(this);
 }
 
@@ -43,8 +64,13 @@ void ManetSlp::deregister_service(const std::string& type,
 void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
                       LookupCallback callback) {
   ++stats_.lookups;
+  metrics_.lookups.add();
   if (auto hit = find_match(type, key)) {
     ++stats_.hits_local;
+    metrics_.cache_hits.add();
+    MetricsRegistry::instance().record_span("slp_resolve", "slp",
+                                            host_.name(), now(), now());
+    metrics_.resolve_ms.observe(0);
     // Resolve asynchronously: callers must not observe reentrant callbacks.
     host_.sim().schedule(microseconds(1),
                          [callback = std::move(callback),
@@ -57,6 +83,7 @@ void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
   pending.type = type;
   pending.key = key;
   pending.callback = std::move(callback);
+  pending.started = now();
   const std::uint32_t id = pending.id;
   pending.timeout = host_.sim().schedule(timeout, [this, id] {
     const auto it =
@@ -66,6 +93,7 @@ void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
     auto cb = std::move(it->callback);
     pending_.erase(it);
     ++stats_.misses;
+    metrics_.lookup_timeouts.add();
     cb(std::nullopt);
   });
   pending_.push_back(std::move(pending));
@@ -135,6 +163,7 @@ Bytes ManetSlp::on_outgoing(const routing::PacketInfo& info) {
     block.advertisements.push_back(e);
     if (block.advertisements.size() >= config_.max_adverts_per_packet) break;
   }
+  metrics_.adverts_piggybacked.add(block.advertisements.size());
   return encode_extension(block, now());
 }
 
@@ -179,6 +208,7 @@ routing::HandlerVerdict ManetSlp::on_incoming(
     }
     verdict.answer = true;
     verdict.reply_extension = encode_extension(reply, now());
+    metrics_.queries_answered.add();
     break;
   }
   return verdict;
@@ -199,6 +229,8 @@ void ManetSlp::absorb(const ServiceEntry& entry) {
     }
   }
   cache_[key] = entry;
+  metrics_.entries_absorbed.add();
+  metrics_.cache_entries.set(static_cast<double>(cache_.size()));
   log_.debug("learned ", entry.to_string());
   resolve_pending(entry);
 }
@@ -208,8 +240,13 @@ void ManetSlp::resolve_pending(const ServiceEntry& entry) {
     if (entry.matches(it->type, it->key)) {
       it->timeout.cancel();
       auto cb = std::move(it->callback);
+      const TimePoint started = it->started;
       it = pending_.erase(it);
       ++stats_.hits_remote;
+      metrics_.remote_resolves.add();
+      metrics_.resolve_ms.observe(to_millis(now() - started));
+      MetricsRegistry::instance().record_span("slp_resolve", "slp",
+                                              host_.name(), started, now());
       cb(entry);
     } else {
       ++it;

@@ -103,6 +103,20 @@ class ManetSlp final : public Directory, public routing::RoutingHandler {
     std::string key;
     LookupCallback callback;
     sim::EventHandle timeout;
+    TimePoint started{};  // resolve latency span start
+  };
+
+  struct Metrics {
+    explicit Metrics(std::string_view node);
+    Counter& lookups;
+    Counter& cache_hits;
+    Counter& remote_resolves;
+    Counter& lookup_timeouts;
+    Counter& adverts_piggybacked;
+    Counter& queries_answered;
+    Counter& entries_absorbed;
+    Gauge& cache_entries;
+    Histogram& resolve_ms;
   };
 
   net::Host& host_;
@@ -116,6 +130,7 @@ class ManetSlp final : public Directory, public routing::RoutingHandler {
   std::uint32_t next_query_id_ = 1;
   std::uint32_t version_counter_ = 1;
   DirectoryStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace siphoc::slp

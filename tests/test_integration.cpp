@@ -3,6 +3,7 @@
 // parameterized over the routing protocol where both apply.
 #include <gtest/gtest.h>
 
+#include "common/metrics.hpp"
 #include "scenario/scenario.hpp"
 
 namespace siphoc {
@@ -297,6 +298,48 @@ TEST(IntegrationTest, MobileNodesCallEventuallySucceeds) {
     if (!established) bed.run_for(seconds(5));
   }
   EXPECT_TRUE(established);
+}
+
+// The observability contract end to end: a completed call must leave the
+// expected traces in the process-wide registry (docs/METRICS.md).
+TEST(IntegrationTest, CompletedCallLeavesMetricsTrail) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();  // before the testbed: reset invalidates bound series
+
+  scenario::Options o;
+  o.nodes = 4;
+  o.routing = RoutingKind::kAodv;
+  o.seed = 77;
+  scenario::Testbed bed(o);
+  bed.start();
+  auto& alice = bed.add_phone(0, "alice");
+  auto& bob = bed.add_phone(3, "bob");
+  bed.settle(seconds(3));
+  ASSERT_TRUE(bed.register_and_wait(alice));
+  ASSERT_TRUE(bed.register_and_wait(bob));
+  const auto result = bed.call_and_wait(alice, "bob@voicehoc.ch");
+  ASSERT_TRUE(result.established);
+  bed.run_for(seconds(2));
+
+  // Setting up the call resolved the callee through MANET SLP and ran an
+  // INVITE client transaction somewhere in the MANET.
+  EXPECT_GT(registry.counter_total("slp.lookups_total"), 0u);
+  EXPECT_GT(registry.counter_total("slp.remote_resolves_total") +
+                registry.counter_total("slp.cache_hits_total"),
+            0u);
+  EXPECT_GT(registry.counter_total("sip.client_tx.INVITE"), 0u);
+  EXPECT_GT(registry.counter_total("routing.control_packets_total"), 0u);
+  EXPECT_GT(registry.counter_total("rtp.packets_rx_total"), 0u);
+
+  // And the tracer saw the matching spans, stamped with virtual time.
+  bool saw_resolve = false, saw_invite = false;
+  for (const auto& span : registry.spans()) {
+    saw_resolve = saw_resolve || span.name == "slp_resolve";
+    saw_invite = saw_invite || span.name == "invite_transaction";
+    EXPECT_LE(span.t_start, span.t_end);
+  }
+  EXPECT_TRUE(saw_resolve);
+  EXPECT_TRUE(saw_invite);
 }
 
 TEST(IntegrationTest, DeterministicReplay) {

@@ -1,0 +1,281 @@
+// metrics_check: enforce the observability doc contract (docs/METRICS.md).
+//
+// The catalog in docs/METRICS.md is the authoritative list of metric and
+// span names this stack may emit. This tool fails CI when code or emitted
+// sidecars drift from it:
+//
+//   metrics_check source  <src-dir>  <METRICS.md>
+//       Scans *.cpp/*.hpp under <src-dir> for registry instrument calls --
+//       counter("..."), gauge("..."), histogram("..."), record_span("...")
+//       -- and reports every literal name not documented in the catalog.
+//
+//   metrics_check sidecar <file.json> <METRICS.md>
+//       Validates a siphoc.metrics.v1 sidecar: required schema keys are
+//       present and every series/span name is documented.
+//
+// Catalog format: any `backtick.quoted` token in METRICS.md counts as a
+// documented name. Dynamic names use wildcard segments in angle brackets,
+// e.g. `sip.client_tx.<method>` matches sip.client_tx.INVITE. Code that
+// builds a name by concatenation ("sip.client_tx." + method) is checked by
+// prefix against a pattern's fixed head.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrics_check: cannot open %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == '<' || c == '>';
+}
+
+/// Every `token` in the markdown that looks like an identifier (letters,
+/// digits, '_', '.', and <wildcard> segments) is a documented name.
+std::set<std::string> parse_catalog(const std::string& markdown) {
+  std::set<std::string> names;
+  std::size_t i = 0;
+  while ((i = markdown.find('`', i)) != std::string::npos) {
+    const std::size_t end = markdown.find('`', i + 1);
+    if (end == std::string::npos) break;
+    const std::string token = markdown.substr(i + 1, end - i - 1);
+    i = end + 1;
+    if (token.empty()) continue;
+    // A pattern starting with a wildcard would match every name and void
+    // the contract; require a literal head (prose like `<wildcard>` in the
+    // doc is thereby ignored too).
+    if (token.front() == '<') continue;
+    bool ok = true;
+    for (const char c : token) ok = ok && name_char(c);
+    if (ok) names.insert(token);
+  }
+  return names;
+}
+
+/// True when `name` matches `pattern`, where each <segment> in the pattern
+/// matches one or more name characters (no backtracking needed: wildcards
+/// are anchored by the literal text that follows them).
+bool wildcard_match(const std::string& pattern, const std::string& name) {
+  std::size_t pi = 0, ni = 0;
+  while (pi < pattern.size()) {
+    if (pattern[pi] == '<') {
+      const std::size_t close = pattern.find('>', pi);
+      if (close == std::string::npos) return false;  // malformed pattern
+      pi = close + 1;
+      // The wildcard must consume at least one character, then everything
+      // up to the next literal character of the pattern.
+      if (ni >= name.size()) return false;
+      if (pi == pattern.size()) return true;  // trailing wildcard eats rest
+      const char anchor = pattern[pi];
+      std::size_t stop = name.find(anchor, ni + 1);
+      if (stop == std::string::npos) return false;
+      ni = stop;
+    } else {
+      if (ni >= name.size() || name[ni] != pattern[pi]) return false;
+      ++pi;
+      ++ni;
+    }
+  }
+  return ni == name.size();
+}
+
+bool documented(const std::set<std::string>& catalog, const std::string& name,
+                bool is_prefix) {
+  if (!is_prefix && catalog.count(name) != 0) return true;
+  for (const auto& pattern : catalog) {
+    if (is_prefix) {
+      // Concatenated name: the literal must be the fixed head of a
+      // documented wildcard pattern (e.g. "sip.client_tx." against
+      // sip.client_tx.<method>).
+      const std::size_t open = pattern.find('<');
+      if (open != std::string::npos && pattern.compare(0, open, name) == 0) {
+        return true;
+      }
+    } else if (pattern.find('<') != std::string::npos &&
+               wildcard_match(pattern, name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Use {
+  std::string name;
+  bool is_prefix = false;  // literal is a concatenation head ("x." + y)
+  std::string where;
+};
+
+/// Extracts the string literal opening at text[at] (== '"'); sets
+/// `is_prefix` when the literal is followed by '+' (runtime concatenation).
+std::optional<Use> extract_literal(const std::string& text, std::size_t at) {
+  const std::size_t end = text.find('"', at + 1);
+  if (end == std::string::npos) return std::nullopt;
+  Use use;
+  use.name = text.substr(at + 1, end - at - 1);
+  std::size_t after = end + 1;
+  while (after < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[after])) != 0) {
+    ++after;
+  }
+  use.is_prefix = after < text.size() && text[after] == '+';
+  return use;
+}
+
+void scan_source(const std::string& text, const std::string& file,
+                 std::vector<Use>& out) {
+  static const char* kCalls[] = {"counter(", "gauge(", "histogram(",
+                                 "record_span("};
+  for (const char* call : kCalls) {
+    const std::string needle = call;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      std::size_t quote = pos + needle.size();
+      pos += needle.size();
+      // Tolerate a line break between the call and its first argument.
+      while (quote < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[quote])) != 0) {
+        ++quote;
+      }
+      if (quote >= text.size() || text[quote] != '"') continue;
+      auto use = extract_literal(text, quote);
+      if (!use || use->name.empty()) continue;
+      // Only registry series names: skip helper definitions whose literal
+      // is a component label or unrelated string (names carry a dot, spans
+      // an underscore).
+      if (use->name.find('.') == std::string::npos &&
+          use->name.find('_') == std::string::npos) {
+        continue;
+      }
+      const std::size_t line =
+          1 + static_cast<std::size_t>(
+                  std::count(text.begin(), text.begin() + quote, '\n'));
+      use->where = file + ":" + std::to_string(line);
+      out.push_back(std::move(*use));
+    }
+  }
+}
+
+int run_source_mode(const fs::path& src_dir, const fs::path& doc_path) {
+  const auto catalog = parse_catalog(read_file(doc_path));
+  if (catalog.empty()) {
+    std::fprintf(stderr, "metrics_check: no names parsed from %s\n",
+                 doc_path.string().c_str());
+    return 2;
+  }
+  std::vector<Use> uses;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    scan_source(read_file(entry.path()), entry.path().string(), uses);
+  }
+  int bad = 0;
+  std::size_t checked = 0;
+  for (const auto& use : uses) {
+    ++checked;
+    if (!documented(catalog, use.name, use.is_prefix)) {
+      std::fprintf(stderr, "UNDOCUMENTED metric name \"%s%s\" at %s\n",
+                   use.name.c_str(), use.is_prefix ? "<...>" : "",
+                   use.where.c_str());
+      ++bad;
+    }
+  }
+  std::printf("metrics_check source: %zu instrument calls, %d undocumented\n",
+              checked, bad);
+  return bad == 0 ? 0 : 1;
+}
+
+/// Collects the value of every "name": "..." pair in the sidecar. The
+/// siphoc.metrics.v1 schema only uses the "name" key for series and span
+/// names, so no structural JSON parse is needed.
+std::vector<std::string> sidecar_names(const std::string& json) {
+  std::vector<std::string> names;
+  const std::string needle = "\"name\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    while (pos < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[pos])) != 0) {
+      ++pos;
+    }
+    if (pos >= json.size() || json[pos] != '"') continue;
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    names.push_back(json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return names;
+}
+
+int run_sidecar_mode(const fs::path& json_path, const fs::path& doc_path) {
+  const std::string json = read_file(json_path);
+  const auto catalog = parse_catalog(read_file(doc_path));
+
+  int bad = 0;
+  static const char* kRequiredKeys[] = {
+      "\"schema\": \"siphoc.metrics.v1\"", "\"emitted_at_us\"",
+      "\"counters\"",                      "\"gauges\"",
+      "\"histograms\"",                    "\"spans\"",
+      "\"spans_dropped\""};
+  for (const char* key : kRequiredKeys) {
+    if (json.find(key) == std::string::npos) {
+      std::fprintf(stderr, "sidecar missing required key %s\n", key);
+      ++bad;
+    }
+  }
+
+  const auto names = sidecar_names(json);
+  if (names.empty()) {
+    std::fprintf(stderr, "sidecar contains no named series at all\n");
+    ++bad;
+  }
+  std::set<std::string> reported;
+  for (const auto& name : names) {
+    if (!documented(catalog, name, /*is_prefix=*/false) &&
+        reported.insert(name).second) {
+      std::fprintf(stderr, "UNDOCUMENTED sidecar name \"%s\"\n",
+                   name.c_str());
+      ++bad;
+    }
+  }
+  std::printf("metrics_check sidecar: %zu names, %d problems\n", names.size(),
+              bad);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: metrics_check source  <src-dir>    <METRICS.md>\n"
+                 "       metrics_check sidecar <file.json>  <METRICS.md>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "source") return run_source_mode(argv[2], argv[3]);
+  if (mode == "sidecar") return run_sidecar_mode(argv[2], argv[3]);
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 2;
+}
