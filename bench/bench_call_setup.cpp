@@ -127,7 +127,8 @@ Sample run_flooding_baseline(int hops, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header(
       "E1: session establishment time vs hop count",
       "chain topology, 100 m spacing, 120 m range; mean of 5 seeds.\n"
@@ -140,10 +141,13 @@ int main() {
   std::printf("------+------------------------+------------------------+--"
               "--------------------------\n");
 
-  for (int hops = 1; hops <= 8; ++hops) {
+  bench::JsonReport report("bench_call_setup");
+  const int max_hops = args.quick ? 2 : 8;
+  const int runs = args.quick ? 1 : 5;
+  for (int hops = 1; hops <= max_hops; ++hops) {
+    const bench::WallTimer wall;
     std::vector<double> aodv_ms, olsr_ms, flood_ms;
     int aodv_ok = 0, olsr_ok = 0, flood_ok = 0;
-    const int runs = 5;
     for (int r = 0; r < runs; ++r) {
       const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(r);
       const auto a = run_siphoc(hops, RoutingKind::kAodv, seed);
@@ -166,7 +170,18 @@ int main() {
                 hops, bench::mean(aodv_ms), aodv_ok, runs,
                 bench::mean(olsr_ms), olsr_ok, runs, bench::mean(flood_ms),
                 flood_ok, runs);
+    report.add_row("hops/" + std::to_string(hops),
+                   {{"hops", hops},
+                    {"runs", runs},
+                    {"aodv_setup_ms", bench::mean(aodv_ms)},
+                    {"aodv_ok", aodv_ok},
+                    {"olsr_setup_ms", bench::mean(olsr_ms)},
+                    {"olsr_ok", olsr_ok},
+                    {"flooding_setup_ms", bench::mean(flood_ms)},
+                    {"flooding_ok", flood_ok},
+                    {"wall_ms", wall.elapsed_ms()}});
   }
+  report.write(args.json_path);
 
   std::printf(
       "\nshape check (paper/SIPHoc claims):\n"

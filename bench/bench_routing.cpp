@@ -96,34 +96,62 @@ double idle_overhead_fps(std::size_t nodes, RoutingKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::JsonReport report("bench_routing");
+
   bench::print_header("E8a: AODV route discovery latency vs hop count",
                       "cold route, expanding ring search enabled.");
   std::printf("%5s | %12s\n", "hops", "latency");
   std::printf("------+--------------\n");
-  for (const int hops : {1, 2, 3, 4, 5, 6, 7, 8}) {
-    std::printf("%5d | %9.1f ms\n", hops,
-                aodv_discovery_ms(hops, 1200 + static_cast<std::uint64_t>(hops)));
+  const int max_hops = args.quick ? 2 : 8;
+  for (int hops = 1; hops <= max_hops; ++hops) {
+    const bench::WallTimer wall;
+    const double ms =
+        aodv_discovery_ms(hops, 1200 + static_cast<std::uint64_t>(hops));
+    std::printf("%5d | %9.1f ms\n", hops, ms);
+    report.add_row("aodv_discovery/" + std::to_string(hops),
+                   {{"hops", hops},
+                    {"discovery_ms", ms},
+                    {"wall_ms", wall.elapsed_ms()}});
   }
 
   bench::print_header("E8b: OLSR convergence time to full reachability",
                       "grid topologies from cold start.");
   std::printf("%6s | %12s\n", "nodes", "convergence");
   std::printf("-------+--------------\n");
-  for (const std::size_t nodes : {4u, 9u, 16u, 25u}) {
-    std::printf("%6zu | %10.1f s\n", nodes,
-                olsr_convergence_s(nodes, 1300 + nodes));
+  const std::vector<std::size_t> olsr_sizes =
+      args.quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{
+                                                     4, 9, 16, 25};
+  for (const std::size_t nodes : olsr_sizes) {
+    const bench::WallTimer wall;
+    const double s = olsr_convergence_s(nodes, 1300 + nodes);
+    std::printf("%6zu | %10.1f s\n", nodes, s);
+    report.add_row("olsr_convergence/" + std::to_string(nodes),
+                   {{"nodes", static_cast<double>(nodes)},
+                    {"convergence_s", s},
+                    {"wall_ms", wall.elapsed_ms()}});
   }
 
   bench::print_header("E8c: idle routing control overhead",
                       "radio frames per node per second, converged network.");
   std::printf("%6s | %12s | %12s\n", "nodes", "AODV", "OLSR");
   std::printf("-------+--------------+--------------\n");
-  for (const std::size_t nodes : {9u, 25u, 49u}) {
-    std::printf("%6zu | %9.2f /s | %9.2f /s\n", nodes,
-                idle_overhead_fps(nodes, RoutingKind::kAodv, 1400 + nodes),
-                idle_overhead_fps(nodes, RoutingKind::kOlsr, 1400 + nodes));
+  const std::vector<std::size_t> idle_sizes =
+      args.quick ? std::vector<std::size_t>{9} : std::vector<std::size_t>{
+                                                     9, 25, 49};
+  for (const std::size_t nodes : idle_sizes) {
+    const bench::WallTimer wall;
+    const double aodv = idle_overhead_fps(nodes, RoutingKind::kAodv, 1400 + nodes);
+    const double olsr = idle_overhead_fps(nodes, RoutingKind::kOlsr, 1400 + nodes);
+    std::printf("%6zu | %9.2f /s | %9.2f /s\n", nodes, aodv, olsr);
+    report.add_row("idle_overhead/" + std::to_string(nodes),
+                   {{"nodes", static_cast<double>(nodes)},
+                    {"aodv_fps", aodv},
+                    {"olsr_fps", olsr},
+                    {"wall_ms", wall.elapsed_ms()}});
   }
+  report.write(args.json_path);
   std::printf(
       "\nshape check: AODV discovery grows ~linearly in hops; OLSR\n"
       "converges within a few HELLO/TC periods; idle overhead per node is\n"

@@ -22,9 +22,12 @@ struct ScaleRow {
   double setup_ms = 0;
   double control_frames_per_node_s = 0;
   double piggyback_bytes_per_node = 0;
+  double wall_ms = 0;       // how long the cell took to simulate
+  double events = 0;        // simulator events executed by the cell
 };
 
 ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed) {
+  const bench::WallTimer wall;
   scenario::Options options;
   options.seed = seed;
   options.nodes = nodes;
@@ -85,12 +88,28 @@ ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed) {
   }
   row.piggyback_bytes_per_node =
       static_cast<double>(ext) / static_cast<double>(nodes);
+  row.wall_ms = wall.elapsed_ms();
+  row.events = static_cast<double>(bed.sim().events_executed());
   return row;
+}
+
+void add_json_row(bench::JsonReport& report, const char* routing,
+                  std::size_t nodes, const ScaleRow& row) {
+  report.add_row(std::string(routing) + "/" + std::to_string(nodes),
+                 {{"nodes", static_cast<double>(nodes)},
+                  {"pairs", row.pairs},
+                  {"calls_ok", row.calls_ok},
+                  {"setup_ms", row.setup_ms},
+                  {"ctrl_frames_per_node_s", row.control_frames_per_node_s},
+                  {"piggyback_bytes_per_node", row.piggyback_bytes_per_node},
+                  {"events", row.events},
+                  {"wall_ms", row.wall_ms}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
   bench::print_header(
       "E9: scalability with network size (the paper's stated next step)",
       "random area at constant density, N/5 caller/callee pairs, one call\n"
@@ -102,14 +121,21 @@ int main() {
               "ctrl f/n/s", "calls", "setup", "ctrl f/n/s");
   std::printf("-------+------------------------------+--------------------"
               "----------\n");
-  for (const std::size_t nodes : {10u, 20u, 40u, 80u}) {
+  bench::JsonReport report("bench_scalability");
+  const std::vector<std::size_t> sizes =
+      args.quick ? std::vector<std::size_t>{10} : std::vector<std::size_t>{
+                                                      10, 20, 40, 80};
+  for (const std::size_t nodes : sizes) {
     const auto aodv = run(nodes, RoutingKind::kAodv, 3000 + nodes);
     const auto olsr = run(nodes, RoutingKind::kOlsr, 3000 + nodes);
     std::printf("%6zu | %4d/%-3d %7.1fms %9.2f | %4d/%-3d %7.1fms %9.2f\n",
                 nodes, aodv.calls_ok, aodv.pairs, aodv.setup_ms,
                 aodv.control_frames_per_node_s, olsr.calls_ok, olsr.pairs,
                 olsr.setup_ms, olsr.control_frames_per_node_s);
+    add_json_row(report, "aodv", nodes, aodv);
+    add_json_row(report, "olsr", nodes, olsr);
   }
+  report.write(args.json_path);
   std::printf(
       "\nshape check: call success and setup time hold up as the network\n"
       "grows at constant density (setup tracks the growing diameter).\n"

@@ -6,9 +6,11 @@
 // the simulator runs). Repeated runs use distinct seeds and report means.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -53,5 +55,91 @@ inline bool write_metrics_sidecar(const std::string& name) {
   }
   return json_ok && csv_ok;
 }
+
+/// Common bench command line:
+///   --quick         shrink the experiment to a seconds-scale smoke run
+///                   (ctest uses this so the benches cannot bit-rot)
+///   --json <path>   additionally emit the result rows as JSON in the
+///                   schema documented in docs/PERFORMANCE.md
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        args.json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      }
+    }
+    return args;
+  }
+};
+
+/// Wall-clock stopwatch for the "how fast does the simulator itself run"
+/// axis of the perf work (virtual-time results are wall-clock independent).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench report ("siphoc.bench.v1"): one row per table
+/// cell, each a flat label -> numeric-metric map. BENCH_baseline.json is a
+/// committed snapshot of these files so PRs leave a perf trajectory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_row(std::string label,
+               std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({std::move(label), std::move(metrics)});
+  }
+
+  std::string to_json() const {
+    std::string out = "{\n  \"schema\": \"siphoc.bench.v1\",\n  \"bench\": \"" +
+                      bench_ + "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {\"label\": \"" + rows_[i].label + "\"";
+      for (const auto& [key, value] : rows_[i].metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        out += ", \"" + key + "\": " + buf;
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the report if `path` is non-empty; reuses the metrics file
+  /// writer so failures behave identically to sidecar failures.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    const bool ok = MetricsRegistry::write_file(path, to_json());
+    if (ok) std::printf("bench json: %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace siphoc::bench

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,6 +21,53 @@
 namespace siphoc {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Immutable, cheaply-copyable byte buffer (shared ownership).
+///
+/// Datagram payloads use this so that delivering a broadcast frame to k
+/// receivers schedules k closures over ONE payload allocation instead of k
+/// deep copies; the same applies to multihop forwarding, which copies the
+/// datagram once per hop. Construction from `Bytes` takes ownership of the
+/// vector; all further copies are a reference-count bump. The buffer is
+/// immutable after construction -- to change a payload, build a new one.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  SharedBytes(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const Bytes>(std::move(bytes))) {}
+  SharedBytes(std::initializer_list<std::uint8_t> il)
+      : SharedBytes(Bytes(il)) {}
+
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+  const std::uint8_t* data() const { return bytes().data(); }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  auto begin() const { return bytes().begin(); }
+  auto end() const { return bytes().end(); }
+
+  operator const Bytes&() const {  // NOLINT(google-explicit-constructor)
+    return bytes();
+  }
+  operator std::span<const std::uint8_t>() const {  // NOLINT
+    return bytes();
+  }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.bytes() == b.bytes();
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.bytes() == b;
+  }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes empty;
+    return empty;
+  }
+  std::shared_ptr<const Bytes> data_;
+};
 
 /// Appends big-endian encoded primitive fields to a byte vector.
 class BufferWriter {

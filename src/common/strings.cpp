@@ -36,11 +36,16 @@ std::vector<std::string> split_trimmed(std::string_view s, char sep) {
 }
 
 std::string to_lower(std::string_view s) {
-  std::string out(s);
+  std::string out;
+  to_lower_into(s, out);
+  return out;
+}
+
+void to_lower_into(std::string_view s, std::string& out) {
+  out.assign(s);
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
-  return out;
 }
 
 bool iequals(std::string_view a, std::string_view b) {

@@ -21,6 +21,10 @@ std::vector<std::string> split_trimmed(std::string_view s, char sep);
 /// ASCII lower-casing (locale independent).
 std::string to_lower(std::string_view s);
 
+/// ASCII lower-casing into a caller-owned buffer, so hot parse paths can
+/// reuse one string's capacity instead of allocating per call.
+void to_lower_into(std::string_view s, std::string& out);
+
 /// Case-insensitive ASCII equality (SIP header names, methods in URIs).
 bool iequals(std::string_view a, std::string_view b);
 

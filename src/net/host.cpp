@@ -20,6 +20,9 @@ void Host::attach_radio(RadioMedium& medium, Address address,
   att.mac = id_;
   att.address = address;
   att.position = [this] { return position(); };
+  // No mobility model means Position{} forever; both cases let the medium
+  // cache the position in its spatial index.
+  att.fixed_position = mobility_ == nullptr || mobility_->is_fixed();
   att.deliver = [this](const Frame& f) { on_radio_frame(f); };
   att.unicast_failed = [this](const Frame& f) {
     if (link_failure_) link_failure_(f);

@@ -1,6 +1,7 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace siphoc::net {
 
@@ -9,27 +10,80 @@ RadioMedium::RadioMedium(sim::Simulator& sim, RadioConfig config)
 
 void RadioMedium::attach(RadioAttachment attachment) {
   arp_[attachment.address] = attachment.mac;
+  mac_index_.emplace(attachment.mac,
+                     static_cast<std::uint32_t>(radios_.size()));
   radios_.push_back(std::move(attachment));
+  index_dirty_ = true;
 }
 
 void RadioMedium::detach(NodeId mac) {
-  std::erase_if(radios_, [&](const RadioAttachment& r) {
-    if (r.mac != mac) return false;
-    return true;
-  });
+  std::erase_if(radios_,
+                [&](const RadioAttachment& r) { return r.mac == mac; });
   std::erase_if(arp_, [&](const auto& kv) { return kv.second == mac; });
+  // Indices shifted; rebuild the mac map eagerly (detach is rare) and let
+  // the spatial grid follow lazily.
+  mac_index_.clear();
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    mac_index_.emplace(radios_[i].mac, i);
+  }
+  index_dirty_ = true;
 }
 
 void RadioMedium::set_enabled(NodeId mac, bool enabled) {
-  for (auto& r : radios_) {
-    if (r.mac == mac) r.enabled = enabled;
-  }
+  const auto it = mac_index_.find(mac);
+  if (it != mac_index_.end()) radios_[it->second].enabled = enabled;
 }
 
 const RadioAttachment* RadioMedium::find(NodeId mac) const {
-  const auto it = std::find_if(radios_.begin(), radios_.end(),
-                               [&](const auto& r) { return r.mac == mac; });
-  return it == radios_.end() ? nullptr : &*it;
+  const auto it = mac_index_.find(mac);
+  return it == mac_index_.end() ? nullptr : &radios_[it->second];
+}
+
+std::uint64_t RadioMedium::pack_cell(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+std::pair<std::int32_t, std::int32_t> RadioMedium::cell_coords(
+    Position p) const {
+  const double cell = config_.range > 0 ? config_.range : 1.0;
+  return {static_cast<std::int32_t>(std::floor(p.x / cell)),
+          static_cast<std::int32_t>(std::floor(p.y / cell))};
+}
+
+void RadioMedium::rebuild_index() {
+  grid_.clear();
+  mobile_.clear();
+  fixed_positions_.assign(radios_.size(), Position{});
+  for (std::uint32_t i = 0; i < radios_.size(); ++i) {
+    const RadioAttachment& r = radios_[i];
+    if (r.fixed_position) {
+      const Position p = r.position();
+      fixed_positions_[i] = p;
+      const auto [cx, cy] = cell_coords(p);
+      grid_[pack_cell(cx, cy)].push_back(i);
+    } else {
+      mobile_.push_back(i);
+    }
+  }
+  index_dirty_ = false;
+}
+
+void RadioMedium::collect_candidates(Position from,
+                                     std::vector<std::uint32_t>& out) const {
+  const auto [cx, cy] = cell_coords(from);
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(pack_cell(cx + dx, cy + dy));
+      if (it != grid_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  out.insert(out.end(), mobile_.begin(), mobile_.end());
+  // Attachment order == the order the old brute-force scan visited radios
+  // == the order per-receiver loss draws consume the RNG. Keep it.
+  std::sort(out.begin(), out.end());
 }
 
 TrafficClass RadioMedium::classify(const Datagram& d) {
@@ -62,18 +116,32 @@ void RadioMedium::transmit(const Frame& frame) {
   cls.bytes += frame.wire_size();
   if (tap_) tap_(frame, sim_.now());
 
+  if (index_dirty_) rebuild_index();
+
   const Position from = sender->position();
   const Duration tx_delay = std::chrono::duration_cast<Duration>(
       std::chrono::duration<double>(static_cast<double>(frame.wire_size()) *
                                     8.0 / config_.bitrate_bps));
   const Duration arrival = tx_delay + config_.mac_latency;
 
+  // Receiver set: unicast resolves the addressed MAC directly; broadcast
+  // asks the spatial index for everything possibly in range.
+  scratch_.clear();
+  if (frame.dst_mac == kBroadcastMac) {
+    collect_candidates(from, scratch_);
+  } else if (const auto it = mac_index_.find(frame.dst_mac);
+             it != mac_index_.end()) {
+    scratch_.push_back(it->second);
+  }
+
   bool unicast_reached = frame.dst_mac == kBroadcastMac;
-  for (const auto& rx : radios_) {
+  for (const std::uint32_t i : scratch_) {
+    const RadioAttachment& rx = radios_[i];
     if (rx.mac == frame.src_mac || !rx.enabled) continue;
-    if (frame.dst_mac != kBroadcastMac && rx.mac != frame.dst_mac) continue;
     if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) continue;
-    if (distance(from, rx.position()) > config_.range) continue;
+    const Position at =
+        rx.fixed_position ? fixed_positions_[i] : rx.position();
+    if (distance(from, at) > config_.range) continue;
     unicast_reached = true;
     if (config_.loss_probability > 0 &&
         sim_.rng().chance(config_.loss_probability)) {
@@ -81,7 +149,8 @@ void RadioMedium::transmit(const Frame& frame) {
       continue;
     }
     ++stats_.frames_delivered;
-    // Copy what the closure needs: the attachment may move as radios_ grows.
+    // Copy what the closure needs: the attachment may move as radios_
+    // grows. The frame copy is cheap -- the payload is a shared buffer.
     auto deliver = rx.deliver;
     sim_.schedule(arrival, [deliver, frame] { deliver(frame); });
   }

@@ -10,9 +10,11 @@
 // between testbed laptops "to enforce multihop communication".
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/mobility.hpp"
@@ -55,6 +57,9 @@ struct RadioAttachment {
   /// (802.11 missing-ACK feedback; AODV uses it to trigger RERR).
   std::function<void(const Frame&)> unicast_failed;
   bool enabled = true;
+  /// True when `position` never changes (StaticMobility). The medium keeps
+  /// fixed radios in a spatial grid; mobile radios are re-queried per frame.
+  bool fixed_position = false;
 };
 
 class RadioMedium {
@@ -99,9 +104,30 @@ class RadioMedium {
  private:
   const RadioAttachment* find(NodeId mac) const;
 
+  /// Uniform spatial grid over the cached positions of fixed radios, cell
+  /// size = radio range: all in-range fixed receivers of a transmission
+  /// live in the sender's 3x3 cell neighborhood. Mobile radios are kept in
+  /// a side list and scanned per frame, so delivery sets stay *exactly*
+  /// equal to the brute-force scan (tested against it). Rebuilt lazily
+  /// after attach/detach.
+  void rebuild_index();
+  static std::uint64_t pack_cell(std::int32_t cx, std::int32_t cy);
+  std::pair<std::int32_t, std::int32_t> cell_coords(Position p) const;
+  /// Appends every radio index that could be within `config_.range` of
+  /// `from` (fixed: 3x3 grid cells; mobile: all) in attachment order --
+  /// iteration order determines RNG draw order, so it must match the
+  /// brute-force scan for run-for-run reproducibility.
+  void collect_candidates(Position from, std::vector<std::uint32_t>& out) const;
+
   sim::Simulator& sim_;
   RadioConfig config_;
   std::vector<RadioAttachment> radios_;
+  std::vector<Position> fixed_positions_;  // parallel to radios_ (fixed only)
+  std::unordered_map<NodeId, std::uint32_t> mac_index_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
+  std::vector<std::uint32_t> mobile_;  // indices of non-fixed radios
+  mutable std::vector<std::uint32_t> scratch_;  // reused per transmit
+  bool index_dirty_ = true;
   std::unordered_map<Address, NodeId> arp_;
   std::function<bool(NodeId, NodeId)> link_filter_;
   std::function<void(const Frame&, TimePoint)> tap_;

@@ -28,17 +28,23 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual Position position_at(TimePoint t) = 0;
+
+  /// True when the position can never change. The radio medium caches
+  /// fixed positions in its spatial index instead of querying per frame,
+  /// so a model returning true here must be genuinely immutable.
+  virtual bool is_fixed() const { return false; }
 };
 
-/// A node that never moves (the paper's laptops on desks).
+/// A node that never moves (the paper's laptops on desks). Immutable:
+/// the medium indexes fixed nodes spatially and never re-asks.
 class StaticMobility final : public MobilityModel {
  public:
   explicit StaticMobility(Position p) : pos_(p) {}
   Position position_at(TimePoint) override { return pos_; }
-  void set_position(Position p) { pos_ = p; }
+  bool is_fixed() const override { return true; }
 
  private:
-  Position pos_;
+  const Position pos_;
 };
 
 struct RandomWaypointConfig {

@@ -38,7 +38,9 @@ struct Datagram {
   std::uint16_t dst_port = 0;
   std::uint8_t ttl = kDefaultTtl;
   IpProto protocol = IpProto::kUdp;
-  Bytes payload;
+  /// Shared immutable buffer: copying a Datagram (per-receiver broadcast
+  /// delivery, per-hop forwarding) does not copy the payload bytes.
+  SharedBytes payload;
 
   Endpoint source() const { return {src, src_port}; }
   Endpoint destination() const { return {dst, dst_port}; }

@@ -51,8 +51,12 @@ void Olsr::stop() {
   housekeeping_timer_.stop();
   route_calc_.cancel();
   host_.unbind(net::kOlsrPort);
-  for (const auto& dst : installed_routes_) host_.remove_route(dst, 32);
+  for (const auto& [dst, entry] : installed_routes_) host_.remove_route(dst, 32);
   installed_routes_.clear();
+  // Forget the input snapshot: the empty FIB now corresponds to empty
+  // inputs, so a restart must not early-out of its first recalculation.
+  route_sym_last_.clear();
+  route_edges_last_.clear();
   host_.add_route({net::kManetPrefix, net::kManetPrefixLen, std::nullopt,
                    net::Interface::kRadio, /*metric=*/100});
 }
@@ -228,12 +232,11 @@ void Olsr::process_hello(const Message& m, net::Address from) {
 }
 
 void Olsr::process_tc(const Message& m) {
-  // RFC 9.5: discard entries from this originator with older ANSN; keep
-  // only the newest advertisement set.
-  std::erase_if(topology_, [&](const TopologyEdge& e) {
-    return e.last_hop == m.originator &&
-           static_cast<std::int16_t>(m.tc.ansn - e.ansn) > 0;
-  });
+  // RFC 9.5: keep only the newest advertisement set per originator.
+  // Refresh surviving edges in place first, then drop the stale-ANSN
+  // remainder: a periodic TC that re-advertises the same neighbor set
+  // then leaves topology_ untouched (same entries, same positions), which
+  // is what lets calculate_routes() early-out on its input snapshot.
   for (const auto& dest : m.tc.advertised) {
     const auto it = std::find_if(
         topology_.begin(), topology_.end(), [&](const TopologyEdge& e) {
@@ -247,6 +250,10 @@ void Olsr::process_tc(const Message& m) {
           {m.originator, dest, m.tc.ansn, now() + config_.topology_hold});
     }
   }
+  std::erase_if(topology_, [&](const TopologyEdge& e) {
+    return e.last_hop == m.originator &&
+           static_cast<std::int16_t>(m.tc.ansn - e.ansn) > 0;
+  });
   schedule_route_calc();
 }
 
@@ -344,39 +351,77 @@ void Olsr::calculate_routes() {
     net::Address next_hop;
     int distance = 0;
   };
+  // Snapshot the routing inputs: the symmetric neighbor set (sorted, which
+  // is also the BFS seed order) and the live topology edges in scan order.
+  // Routes are a pure function of these, so when the snapshot matches the
+  // previous run the BFS below would reproduce installed_routes_
+  // bit-for-bit -- skip it. That is by far the common case: every HELLO
+  // and TC debounces into a recalc, but a converged network's periodic
+  // refreshes leave the inputs untouched.
+  const TimePoint t = now();
+  route_sym_scratch_.clear();
+  for (const auto& [addr, link] : links_) {
+    if (link.sym_until > t) route_sym_scratch_.push_back(addr);
+  }
+  std::sort(route_sym_scratch_.begin(), route_sym_scratch_.end());
+  route_edges_scratch_.clear();
+  for (const auto& e : topology_) {
+    if (e.expires <= t) continue;
+    route_edges_scratch_.push_back(e.last_hop);
+    route_edges_scratch_.push_back(e.dest);
+  }
+  if (route_sym_scratch_ == route_sym_last_ &&
+      route_edges_scratch_ == route_edges_last_) {
+    return;
+  }
+  route_sym_last_ = route_sym_scratch_;
+  route_edges_last_ = route_edges_scratch_;
+
+  // Adjacency from TC edges (last_hop -> dest) in both directions: links
+  // are bidirectional once symmetric. Indexed up front so the BFS is
+  // O(V + E) instead of rescanning the whole topology set per visited
+  // node; per-node neighbor lists keep topology_ scan order so
+  // equal-distance tie-breaks pick the same next hop a linear scan would.
+  std::unordered_map<net::Address, std::vector<net::Address>> adjacency;
+  adjacency.reserve(route_edges_scratch_.size());
+  for (std::size_t i = 0; i + 1 < route_edges_scratch_.size(); i += 2) {
+    adjacency[route_edges_scratch_[i]].push_back(route_edges_scratch_[i + 1]);
+    adjacency[route_edges_scratch_[i + 1]].push_back(route_edges_scratch_[i]);
+  }
+
   std::unordered_map<net::Address, Hop> reach;
   std::queue<net::Address> frontier;
-
-  for (const auto& n : symmetric_neighbors()) {
+  for (const auto& n : route_sym_scratch_) {
     reach[n] = {n, 1};
     frontier.push(n);
   }
-  // Adjacency from TC edges (last_hop -> dest) in both directions: links
-  // are bidirectional once symmetric.
   while (!frontier.empty()) {
     const net::Address u = frontier.front();
     frontier.pop();
     const Hop hop = reach.at(u);
-    for (const auto& e : topology_) {
-      if (e.expires <= now()) continue;
-      net::Address v;
-      if (e.last_hop == u) v = e.dest;
-      else if (e.dest == u) v = e.last_hop;
-      else continue;
+    const auto adj = adjacency.find(u);
+    if (adj == adjacency.end()) continue;
+    for (const net::Address v : adj->second) {
       if (v == self() || reach.contains(v)) continue;
       reach[v] = {hop.next_hop, hop.distance + 1};
       frontier.push(v);
     }
   }
 
-  // Mirror into the host FIB: add new/changed, drop vanished.
-  std::set<net::Address> next_installed;
+  // Mirror into the host FIB: touch only routes whose next hop or metric
+  // actually changed, drop vanished ones. Steady state (converged
+  // network, periodic TCs) then costs zero FIB writes.
+  std::map<net::Address, std::pair<net::Address, int>> next_installed;
   for (const auto& [dst, hop] : reach) {
-    host_.add_route(
-        {dst, 32, hop.next_hop, net::Interface::kRadio, hop.distance});
-    next_installed.insert(dst);
+    next_installed.emplace(dst, std::make_pair(hop.next_hop, hop.distance));
   }
-  for (const auto& dst : installed_routes_) {
+  for (const auto& [dst, entry] : next_installed) {
+    const auto it = installed_routes_.find(dst);
+    if (it != installed_routes_.end() && it->second == entry) continue;
+    host_.add_route(
+        {dst, 32, entry.first, net::Interface::kRadio, entry.second});
+  }
+  for (const auto& [dst, entry] : installed_routes_) {
     if (!next_installed.contains(dst)) host_.remove_route(dst, 32);
   }
   installed_routes_ = std::move(next_installed);

@@ -118,7 +118,17 @@ class Olsr final : public Protocol {
   std::set<std::pair<net::Address, std::uint16_t>> duplicates_;
   std::map<std::pair<net::Address, std::uint16_t>, TimePoint> duplicate_ttl_;
 
-  std::set<net::Address> installed_routes_;
+  // dst -> (next_hop, metric) currently mirrored into the host FIB; lets
+  // route recalculation skip FIB writes for unchanged entries.
+  std::map<net::Address, std::pair<net::Address, int>> installed_routes_;
+  // Input snapshot from the last route calculation (sorted symmetric
+  // neighbors; live topology edges as flat last_hop/dest pairs in scan
+  // order) plus reusable scratch, so unchanged-input recalcs early-out
+  // without allocating.
+  std::vector<net::Address> route_sym_last_;
+  std::vector<net::Address> route_sym_scratch_;
+  std::vector<net::Address> route_edges_last_;
+  std::vector<net::Address> route_edges_scratch_;
   sim::PeriodicTimer hello_timer_;
   sim::PeriodicTimer tc_timer_;
   sim::PeriodicTimer housekeeping_timer_;

@@ -6,7 +6,8 @@
 
 namespace siphoc::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+Simulator::Simulator(std::uint64_t seed)
+    : pool_(std::make_shared<detail::EventPool>()), rng_(seed) {
   Logging::instance().set_time_source([this] { return now_; });
   MetricsRegistry::instance().set_time_source([this] { return now_; });
 }
@@ -23,27 +24,30 @@ EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
 
 EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   assert(when >= now_);
-  Event ev;
-  ev.when = when;
-  ev.seq = next_seq_++;
-  ev.fn = std::move(fn);
-  ev.cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(ev.cancelled)};
-  queue_.push(std::move(ev));
-  return handle;
+  const std::uint32_t slot = pool_->acquire();
+  detail::EventRecord& rec = pool_->records[slot];
+  rec.fn = std::move(fn);
+  rec.cancelled = false;
+  rec.live = true;
+  queue_.push(QueueEntry{when, next_seq_++, slot});
+  return EventHandle{pool_, slot, rec.generation};
 }
 
 bool Simulator::step(TimePoint limit) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const QueueEntry top = queue_.top();  // POD copy; closure stays pooled
     if (top.when > limit) return false;
-    // Move the event out before executing: the callback may schedule more.
-    Event ev = top;
     queue_.pop();
-    now_ = ev.when;
-    if (*ev.cancelled) continue;
+    now_ = top.when;
+    detail::EventRecord& rec = pool_->records[top.slot];
+    const bool cancelled = rec.cancelled;
+    // Move the closure out before releasing the slot: the callback may
+    // schedule more events, which can recycle the slot and grow the slab.
+    std::function<void()> fn = std::move(rec.fn);
+    pool_->release(top.slot);
+    if (cancelled) continue;
     ++events_executed_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;

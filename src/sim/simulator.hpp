@@ -6,6 +6,13 @@
 // transactions, RTP streams -- is driven purely by scheduled callbacks, so
 // a whole multihop call setup runs deterministically in microseconds of
 // wall time and can be replayed from a seed.
+//
+// Hot-path design (see docs/PERFORMANCE.md): event closures live in a
+// slab-allocated pool of records that are recycled through a free list, so
+// steady-state scheduling performs no per-event heap allocation beyond
+// what the closure itself captures. The priority queue orders small POD
+// entries (when, seq, slot); cancellation is a generation-checked slot
+// handle instead of a shared_ptr<bool> per event.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,50 @@
 
 namespace siphoc::sim {
 
+namespace detail {
+
+inline constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+/// One pooled event. `generation` increments every time the slot is
+/// recycled, so stale handles (cancel-after-fire) become harmless no-ops.
+struct EventRecord {
+  std::function<void()> fn;
+  std::uint32_t generation = 0;
+  std::uint32_t next_free = kInvalidSlot;
+  bool cancelled = false;
+  bool live = false;
+};
+
+/// The slab. Shared with handles via weak_ptr so a handle outliving its
+/// Simulator degrades to an inert no-op exactly like the old weak_ptr<bool>
+/// scheme did.
+struct EventPool {
+  std::vector<EventRecord> records;
+  std::uint32_t free_head = kInvalidSlot;
+
+  std::uint32_t acquire() {
+    if (free_head != kInvalidSlot) {
+      const std::uint32_t slot = free_head;
+      free_head = records[slot].next_free;
+      return slot;
+    }
+    records.emplace_back();
+    return static_cast<std::uint32_t>(records.size() - 1);
+  }
+
+  void release(std::uint32_t slot) {
+    EventRecord& rec = records[slot];
+    rec.fn = nullptr;
+    ++rec.generation;
+    rec.live = false;
+    rec.cancelled = false;
+    rec.next_free = free_head;
+    free_head = slot;
+  }
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event; allows cancellation (e.g. a SIP timer that
 /// is stopped because the response arrived).
 class EventHandle {
@@ -29,19 +80,28 @@ class EventHandle {
   /// Prevents the callback from firing. Safe to call multiple times and
   /// after the event fired.
   void cancel() {
-    if (auto c = cancelled_.lock()) *c = true;
+    if (auto pool = pool_.lock()) {
+      auto& rec = pool->records[slot_];
+      if (rec.live && rec.generation == generation_) rec.cancelled = true;
+    }
   }
 
   bool pending() const {
-    auto c = cancelled_.lock();
-    return c && !*c;
+    auto pool = pool_.lock();
+    if (!pool) return false;
+    const auto& rec = pool->records[slot_];
+    return rec.live && rec.generation == generation_ && !rec.cancelled;
   }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::weak_ptr<bool> cancelled_;
+  EventHandle(std::weak_ptr<detail::EventPool> pool, std::uint32_t slot,
+              std::uint32_t generation)
+      : pool_(std::move(pool)), slot_(slot), generation_(generation) {}
+
+  std::weak_ptr<detail::EventPool> pool_;
+  std::uint32_t slot_ = detail::kInvalidSlot;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
@@ -77,14 +137,15 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
-  struct Event {
+  /// What the priority queue orders: 24 trivially-copyable bytes. The
+  /// record (and its closure) stays put in the pool until popped.
+  struct QueueEntry {
     TimePoint when;
     std::uint64_t seq;  // FIFO tie-break for same-timestamp events
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
@@ -94,7 +155,8 @@ class Simulator {
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::shared_ptr<detail::EventPool> pool_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
   Rng rng_;
 };
 

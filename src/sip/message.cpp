@@ -9,31 +9,83 @@ namespace siphoc::sip {
 
 namespace {
 
-/// Canonicalizes compact header forms (RFC 3261 7.3.3).
-std::string canonical_name(std::string_view name) {
-  const std::string lower = to_lower(trim(name));
-  if (lower == "v") return "via";
-  if (lower == "f") return "from";
-  if (lower == "t") return "to";
-  if (lower == "i") return "call-id";
-  if (lower == "m") return "contact";
-  if (lower == "l") return "content-length";
-  if (lower == "c") return "content-type";
-  return lower;
+/// True when the name contains no ASCII uppercase -- the common case for
+/// internal lookups ("via", "call-id", ...), which then need no copy.
+bool is_ascii_lower(std::string_view s) {
+  for (const char c : s) {
+    if (c >= 'A' && c <= 'Z') return false;
+  }
+  return true;
 }
 
-/// Pretty header name for serialization ("call-id" -> "Call-ID").
-std::string display_name(std::string_view canonical) {
-  if (canonical == "call-id") return "Call-ID";
-  if (canonical == "cseq") return "CSeq";
-  if (canonical == "www-authenticate") return "WWW-Authenticate";
-  std::string out(canonical);
+/// Expands lowercase compact forms (RFC 3261 7.3.3).
+std::string_view expand_compact(std::string_view lower) {
+  if (lower.size() != 1) return lower;
+  switch (lower.front()) {
+    case 'v': return "via";
+    case 'f': return "from";
+    case 't': return "to";
+    case 'i': return "call-id";
+    case 'm': return "contact";
+    case 'l': return "content-length";
+    case 'c': return "content-type";
+    default: return lower;
+  }
+}
+
+/// Canonicalizes a header name without allocating in the common case:
+/// already-lowercase names are returned as a view into the input, and only
+/// mixed-case wire input is folded into `storage`.
+std::string_view canonical_name(std::string_view name, std::string& storage) {
+  name = trim(name);
+  if (!is_ascii_lower(name)) {
+    to_lower_into(name, storage);
+    name = storage;
+  }
+  return expand_compact(name);
+}
+
+/// Pretty header names for serialization, hot ones via a static table
+/// ("call-id" -> "Call-ID"); anything unknown is title-cased into
+/// `storage`.
+std::string_view display_name(std::string_view canonical,
+                              std::string& storage) {
+  static constexpr std::pair<std::string_view, std::string_view> kDisplay[] =
+      {{"via", "Via"},
+       {"from", "From"},
+       {"to", "To"},
+       {"call-id", "Call-ID"},
+       {"cseq", "CSeq"},
+       {"contact", "Contact"},
+       {"content-length", "Content-Length"},
+       {"content-type", "Content-Type"},
+       {"max-forwards", "Max-Forwards"},
+       {"expires", "Expires"},
+       {"route", "Route"},
+       {"record-route", "Record-Route"},
+       {"www-authenticate", "WWW-Authenticate"},
+       {"authorization", "Authorization"},
+       {"user-agent", "User-Agent"}};
+  for (const auto& [name, display] : kDisplay) {
+    if (name == canonical) return display;
+  }
+  storage.assign(canonical);
   bool upper_next = true;
-  for (char& c : out) {
+  for (char& c : storage) {
     if (upper_next && c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
     upper_next = c == '-';
   }
-  return out;
+  return storage;
+}
+
+/// Headers a response mirrors from its request (RFC 3261 8.2.6).
+bool is_mirrored_in_response(std::string_view name) {
+  static constexpr std::string_view kMirrored[] = {
+      "via", "from", "to", "call-id", "cseq", "record-route"};
+  for (const auto mirrored : kMirrored) {
+    if (name == mirrored) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -74,11 +126,13 @@ Message Message::response_to(const Message& req, int status,
   m.status_ = status;
   m.reason_ = reason.empty() ? std::string(default_reason(status))
                              : std::move(reason);
+  std::size_t mirrored = 0;
   for (const auto& [name, value] : req.headers_) {
-    if (name == "via" || name == "from" || name == "to" ||
-        name == "call-id" || name == "cseq" || name == "record-route") {
-      m.headers_.emplace_back(name, value);
-    }
+    mirrored += is_mirrored_in_response(name) ? 1 : 0;
+  }
+  m.headers_.reserve(mirrored);
+  for (const auto& [name, value] : req.headers_) {
+    if (is_mirrored_in_response(name)) m.headers_.emplace_back(name, value);
   }
   return m;
 }
@@ -141,7 +195,8 @@ Result<Message> Message::parse(std::string_view text) {
     if (colon == std::string_view::npos) {
       return fail("sip: header without colon: '" + std::string(line) + "'");
     }
-    const auto name = canonical_name(line.substr(0, colon));
+    std::string name_storage;
+    const auto name = canonical_name(line.substr(0, colon), name_storage);
     const auto value = trim(line.substr(colon + 1));
     // Comma-separated multi-values split into separate entries (Via, Route).
     if (name == "via" || name == "route" || name == "record-route" ||
@@ -170,19 +225,42 @@ Result<Message> Message::parse(std::string_view text) {
 }
 
 std::string Message::serialize() const {
+  const std::string uri = is_request_ ? request_uri_.to_string() : "";
+  // One allocation: size the output for start line + headers + an
+  // (optional) generated Content-Length + blank line + body.
+  std::size_t estimate = 2 + body_.size() + 32;
+  estimate += is_request_ ? method_.size() + uri.size() + 11
+                          : 8 + 4 + reason_.size() + 3;
+  for (const auto& [name, value] : headers_) {
+    estimate += name.size() + 2 + value.size() + 2;
+  }
   std::string out;
+  out.reserve(estimate);
   if (is_request_) {
-    out = method_ + " " + request_uri_.to_string() + " SIP/2.0\r\n";
+    out += method_;
+    out += ' ';
+    out += uri;
+    out += " SIP/2.0\r\n";
   } else {
-    out = "SIP/2.0 " + std::to_string(status_) + " " + reason_ + "\r\n";
+    out += "SIP/2.0 ";
+    out += std::to_string(status_);
+    out += ' ';
+    out += reason_;
+    out += "\r\n";
   }
   bool have_content_length = false;
+  std::string display_storage;
   for (const auto& [name, value] : headers_) {
     if (name == "content-length") have_content_length = true;
-    out += display_name(name) + ": " + value + "\r\n";
+    out += display_name(name, display_storage);
+    out += ": ";
+    out += value;
+    out += "\r\n";
   }
   if (!have_content_length) {
-    out += "Content-Length: " + std::to_string(body_.size()) + "\r\n";
+    out += "Content-Length: ";
+    out += std::to_string(body_.size());
+    out += "\r\n";
   }
   out += "\r\n";
   out += body_;
@@ -190,7 +268,8 @@ std::string Message::serialize() const {
 }
 
 std::optional<std::string> Message::header(std::string_view name) const {
-  const auto canonical = canonical_name(name);
+  std::string storage;
+  const auto canonical = canonical_name(name, storage);
   for (const auto& [n, v] : headers_) {
     if (n == canonical) return v;
   }
@@ -198,7 +277,8 @@ std::optional<std::string> Message::header(std::string_view name) const {
 }
 
 std::vector<std::string> Message::headers(std::string_view name) const {
-  const auto canonical = canonical_name(name);
+  std::string storage;
+  const auto canonical = canonical_name(name, storage);
   std::vector<std::string> out;
   for (const auto& [n, v] : headers_) {
     if (n == canonical) out.push_back(v);
@@ -212,21 +292,26 @@ void Message::set_header(std::string_view name, std::string value) {
 }
 
 void Message::add_header(std::string_view name, std::string value) {
-  headers_.emplace_back(canonical_name(name), std::move(value));
+  std::string storage;
+  headers_.emplace_back(canonical_name(name, storage), std::move(value));
 }
 
 void Message::prepend_header(std::string_view name, std::string value) {
-  headers_.emplace(headers_.begin(), canonical_name(name), std::move(value));
+  std::string storage;
+  headers_.emplace(headers_.begin(), canonical_name(name, storage),
+                   std::move(value));
 }
 
 void Message::remove_header(std::string_view name) {
-  const auto canonical = canonical_name(name);
+  std::string storage;
+  const auto canonical = canonical_name(name, storage);
   std::erase_if(headers_,
                 [&](const auto& h) { return h.first == canonical; });
 }
 
 void Message::remove_first_header(std::string_view name) {
-  const auto canonical = canonical_name(name);
+  std::string storage;
+  const auto canonical = canonical_name(name, storage);
   const auto it =
       std::find_if(headers_.begin(), headers_.end(),
                    [&](const auto& h) { return h.first == canonical; });

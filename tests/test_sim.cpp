@@ -1,6 +1,8 @@
 // Unit tests: discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "sim/simulator.hpp"
 
 namespace siphoc::sim {
@@ -67,6 +69,120 @@ TEST(SimulatorTest, RunUntilAdvancesEvenWhenEmpty) {
   Simulator sim;
   sim.run_until(TimePoint{} + seconds(100));
   EXPECT_EQ(sim.now(), TimePoint{} + seconds(100));
+}
+
+TEST(SimulatorTest, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  bool first = false, second = false;
+  auto h1 = sim.schedule(milliseconds(1), [&] { first = true; });
+  sim.run_for(milliseconds(2));
+  EXPECT_TRUE(first);
+  // h1's pool slot is free now and the next schedule may reuse it; the
+  // stale handle's generation no longer matches, so cancel is a no-op.
+  auto h2 = sim.schedule(milliseconds(1), [&] { second = true; });
+  h1.cancel();
+  EXPECT_TRUE(h2.pending());
+  sim.run_for(milliseconds(2));
+  EXPECT_TRUE(second);
+}
+
+// Stress: >100k events with many identical timestamps, cancellations both
+// before the run and from inside callbacks, plus events scheduling new
+// events (recycling pool slots mid-run). Execution must follow strict
+// (when, schedule-order) lexicographic order and cancelled events must
+// never fire.
+TEST(SimulatorTest, StressStrictOrderWithInterleavedCancellations) {
+  Simulator sim;
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> dt_us(0, 20000);
+
+  struct Rec {
+    TimePoint when{};
+    bool cancelled = false;
+    bool fired = false;
+  };
+  constexpr std::size_t kInitial = 120000;
+  constexpr std::size_t kCapacity = 140000;
+  // recs index == schedule-call order == the simulator's FIFO tie-break
+  // sequence. Reserved up front so callbacks may push while iterating.
+  std::vector<Rec> recs;
+  std::vector<EventHandle> handles;
+  recs.reserve(kCapacity);
+  handles.reserve(kCapacity);
+
+  TimePoint last_when = TimePoint::min();
+  std::size_t last_idx = 0;
+  std::size_t fired_count = 0;
+  std::size_t order_violations = 0;
+  std::size_t cancelled_fired = 0;
+  std::size_t wrong_now = 0;
+
+  std::function<void(std::size_t)> on_fire = [&](std::size_t idx) {
+    Rec& rec = recs[idx];
+    if (rec.cancelled || rec.fired) ++cancelled_fired;
+    rec.fired = true;
+    if (sim.now() != rec.when) ++wrong_now;
+    const bool in_order =
+        fired_count == 0 || rec.when > last_when ||
+        (rec.when == last_when && idx > last_idx);
+    if (!in_order) ++order_violations;
+    last_when = rec.when;
+    last_idx = idx;
+    ++fired_count;
+
+    // Interleave: occasionally cancel a random still-pending event...
+    if (idx % 7 == 0) {
+      std::uniform_int_distribution<std::size_t> pick(0, recs.size() - 1);
+      const std::size_t j = pick(rng);
+      if (j != idx && !recs[j].fired && !recs[j].cancelled) {
+        handles[j].cancel();
+        recs[j].cancelled = true;
+      }
+    }
+    // ...and occasionally schedule a fresh event into a recycled slot.
+    if (idx % 16 == 0 && recs.size() < kCapacity) {
+      const TimePoint when = sim.now() + microseconds(dt_us(rng) / 4);
+      const std::size_t j = recs.size();
+      recs.push_back({when});
+      handles.push_back(sim.schedule_at(when, [&on_fire, j] { on_fire(j); }));
+    }
+  };
+
+  for (std::size_t i = 0; i < kInitial; ++i) {
+    const TimePoint when = TimePoint{} + microseconds(dt_us(rng));
+    recs.push_back({when});
+    handles.push_back(sim.schedule_at(when, [&on_fire, i] { on_fire(i); }));
+  }
+  // Cancel a slice up front, before anything has run.
+  std::uniform_int_distribution<std::size_t> pick(0, kInitial - 1);
+  for (int i = 0; i < 15000; ++i) {
+    const std::size_t j = pick(rng);
+    if (!recs[j].cancelled) {
+      handles[j].cancel();
+      recs[j].cancelled = true;
+      EXPECT_FALSE(handles[j].pending());
+    }
+  }
+
+  sim.run_to_completion();
+
+  std::size_t cancelled = 0;
+  std::size_t missing = 0;
+  for (const Rec& r : recs) {
+    if (r.cancelled) {
+      ++cancelled;
+      if (r.fired) ++cancelled_fired;
+    } else if (!r.fired) {
+      ++missing;
+    }
+  }
+  EXPECT_EQ(order_violations, 0u);
+  EXPECT_EQ(cancelled_fired, 0u);
+  EXPECT_EQ(wrong_now, 0u);
+  EXPECT_EQ(missing, 0u);
+  EXPECT_EQ(fired_count, recs.size() - cancelled);
+  EXPECT_GE(fired_count, 100000u);
+  EXPECT_EQ(sim.events_executed(), fired_count);
 }
 
 TEST(PeriodicTimerTest, FiresRepeatedlyUntilStopped) {
