@@ -11,6 +11,7 @@
 // tracks AODV but costs far more packets (reported alongside).
 #include "baselines/flooding_sip.hpp"
 #include "bench_table.hpp"
+#include "scenario/parallel.hpp"
 #include "scenario/scenario.hpp"
 
 using namespace siphoc;
@@ -25,8 +26,10 @@ struct Sample {
 };
 
 /// One SIPHoc run: chain of hops+1 nodes, register both ends, call.
-Sample run_siphoc(int hops, RoutingKind routing, std::uint64_t seed) {
+Sample run_siphoc(int hops, RoutingKind routing, std::uint64_t seed,
+                  SimContext& ctx) {
   scenario::Options options;
+  options.context = &ctx;
   options.seed = seed;
   options.nodes = static_cast<std::size_t>(hops) + 1;
   options.topology = scenario::Topology::kChain;
@@ -68,8 +71,9 @@ Sample run_siphoc(int hops, RoutingKind routing, std::uint64_t seed) {
 
 /// Baseline: same chain, AODV routing, but the proxies resolve contacts via
 /// the flooding-SIP directory instead of MANET SLP piggybacking.
-Sample run_flooding_baseline(int hops, std::uint64_t seed) {
+Sample run_flooding_baseline(int hops, std::uint64_t seed, SimContext& ctx) {
   scenario::Options options;
+  options.context = &ctx;
   options.seed = seed;
   options.nodes = static_cast<std::size_t>(hops) + 1;
   options.topology = scenario::Topology::kChain;
@@ -144,25 +148,52 @@ int main(int argc, char** argv) {
   bench::JsonReport report("bench_call_setup");
   const int max_hops = args.quick ? 2 : 8;
   const int runs = args.quick ? 1 : 5;
+
+  // Every (hops, variant, repeat) triple is one independent cell; results
+  // land in a pre-sized grid indexed by submission order, so aggregation
+  // below is identical no matter how many worker threads ran the cells.
+  const int kVariants = 3;  // 0 = aodv, 1 = olsr, 2 = flooding baseline
+  std::vector<Sample> samples(
+      static_cast<std::size_t>(max_hops) * kVariants * runs);
+  std::vector<scenario::Cell> cells;
+  const bench::WallTimer wall;
   for (int hops = 1; hops <= max_hops; ++hops) {
-    const bench::WallTimer wall;
+    for (int r = 0; r < runs; ++r) {
+      const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(r);
+      const std::size_t base =
+          (static_cast<std::size_t>(hops - 1) * runs + r) * kVariants;
+      cells.push_back({seed, [&samples, base, hops, seed](SimContext& ctx) {
+                         samples[base] =
+                             run_siphoc(hops, RoutingKind::kAodv, seed, ctx);
+                       }});
+      cells.push_back({seed, [&samples, base, hops, seed](SimContext& ctx) {
+                         samples[base + 1] =
+                             run_siphoc(hops, RoutingKind::kOlsr, seed, ctx);
+                       }});
+      cells.push_back({seed, [&samples, base, hops, seed](SimContext& ctx) {
+                         samples[base + 2] =
+                             run_flooding_baseline(hops, seed, ctx);
+                       }});
+    }
+  }
+  const auto contexts = scenario::run_cells(std::move(cells), args.threads);
+
+  for (int hops = 1; hops <= max_hops; ++hops) {
     std::vector<double> aodv_ms, olsr_ms, flood_ms;
     int aodv_ok = 0, olsr_ok = 0, flood_ok = 0;
     for (int r = 0; r < runs; ++r) {
-      const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(r);
-      const auto a = run_siphoc(hops, RoutingKind::kAodv, seed);
-      if (a.ok) {
-        aodv_ms.push_back(a.setup_ms);
+      const std::size_t base =
+          (static_cast<std::size_t>(hops - 1) * runs + r) * kVariants;
+      if (samples[base].ok) {
+        aodv_ms.push_back(samples[base].setup_ms);
         ++aodv_ok;
       }
-      const auto o = run_siphoc(hops, RoutingKind::kOlsr, seed);
-      if (o.ok) {
-        olsr_ms.push_back(o.setup_ms);
+      if (samples[base + 1].ok) {
+        olsr_ms.push_back(samples[base + 1].setup_ms);
         ++olsr_ok;
       }
-      const auto f = run_flooding_baseline(hops, seed);
-      if (f.ok) {
-        flood_ms.push_back(f.setup_ms);
+      if (samples[base + 2].ok) {
+        flood_ms.push_back(samples[base + 2].setup_ms);
         ++flood_ok;
       }
     }
@@ -178,9 +209,10 @@ int main(int argc, char** argv) {
                     {"olsr_setup_ms", bench::mean(olsr_ms)},
                     {"olsr_ok", olsr_ok},
                     {"flooding_setup_ms", bench::mean(flood_ms)},
-                    {"flooding_ok", flood_ok},
-                    {"wall_ms", wall.elapsed_ms()}});
+                    {"flooding_ok", flood_ok}});
   }
+  std::printf("\ngrid wall time: %.1f ms (%u thread%s)\n", wall.elapsed_ms(),
+              args.threads, args.threads == 1 ? "" : "s");
   report.write(args.json_path);
 
   std::printf(
@@ -189,6 +221,6 @@ int main(int argc, char** argv) {
       "  * proactive (OLSR) setup is flat: contact cached, route in FIB\n"
       "  * SIPHoc resolves contact and route in ONE flood; the broadcast\n"
       "    baseline pays separate network-wide floods\n");
-  bench::write_metrics_sidecar("bench_call_setup");
+  bench::write_merged_sidecar("bench_call_setup", contexts);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "bench_table.hpp"
 #include "routing/aodv.hpp"
 #include "routing/olsr.hpp"
+#include "scenario/parallel.hpp"
 #include "siphoc/node_stack.hpp"  // RoutingKind
 
 using namespace siphoc;
@@ -22,8 +23,8 @@ struct Net {
   std::vector<std::unique_ptr<routing::Protocol>> daemons;
 
   Net(const std::vector<net::Position>& positions, RoutingKind kind,
-      std::uint64_t seed) {
-    sim = std::make_unique<sim::Simulator>(seed);
+      std::uint64_t seed, SimContext& ctx) {
+    sim = std::make_unique<sim::Simulator>(seed, &ctx);
     medium = std::make_unique<net::RadioMedium>(*sim, net::RadioConfig{});
     for (std::size_t i = 0; i < positions.size(); ++i) {
       hosts.push_back(std::make_unique<net::Host>(
@@ -49,9 +50,9 @@ struct Net {
 };
 
 /// AODV: time from first packet to delivery at a cold destination.
-double aodv_discovery_ms(int hops, std::uint64_t seed) {
+double aodv_discovery_ms(int hops, std::uint64_t seed, SimContext& ctx) {
   Net net(net::chain_positions(static_cast<std::size_t>(hops) + 1, 100),
-          RoutingKind::kAodv, seed);
+          RoutingKind::kAodv, seed, ctx);
   net.sim->run_for(seconds(2));
   bool got = false;
   const std::size_t dst = static_cast<std::size_t>(hops);
@@ -66,8 +67,9 @@ double aodv_discovery_ms(int hops, std::uint64_t seed) {
 }
 
 /// OLSR: time from cold start until every pair is mutually routable.
-double olsr_convergence_s(std::size_t nodes, std::uint64_t seed) {
-  Net net(net::grid_positions(nodes, 90), RoutingKind::kOlsr, seed);
+double olsr_convergence_s(std::size_t nodes, std::uint64_t seed,
+                          SimContext& ctx) {
+  Net net(net::grid_positions(nodes, 90), RoutingKind::kOlsr, seed, ctx);
   const TimePoint t0 = net.sim->now();
   const TimePoint deadline = t0 + seconds(120);
   while (net.sim->now() < deadline) {
@@ -85,8 +87,8 @@ double olsr_convergence_s(std::size_t nodes, std::uint64_t seed) {
 
 /// Idle control overhead: frames per node per second over a minute.
 double idle_overhead_fps(std::size_t nodes, RoutingKind kind,
-                         std::uint64_t seed) {
-  Net net(net::grid_positions(nodes, 90), kind, seed);
+                         std::uint64_t seed, SimContext& ctx) {
+  Net net(net::grid_positions(nodes, 90), kind, seed, ctx);
   net.sim->run_for(seconds(30));  // warm up / converge
   net.medium->reset_stats();
   net.sim->run_for(seconds(60));
@@ -100,57 +102,85 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::JsonReport report("bench_routing");
 
+  const int max_hops = args.quick ? 2 : 8;
+  const std::vector<std::size_t> olsr_sizes =
+      args.quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{
+                                                     4, 9, 16, 25};
+  const std::vector<std::size_t> idle_sizes =
+      args.quick ? std::vector<std::size_t>{9} : std::vector<std::size_t>{
+                                                     9, 25, 49};
+
+  // All three experiments are flat lists of independent cells; fan them
+  // out together and print each table from the in-order results.
+  std::vector<double> discovery(static_cast<std::size_t>(max_hops));
+  std::vector<double> convergence(olsr_sizes.size());
+  std::vector<double> idle_aodv(idle_sizes.size());
+  std::vector<double> idle_olsr(idle_sizes.size());
+  std::vector<scenario::Cell> cells;
+  const bench::WallTimer wall;
+  for (int hops = 1; hops <= max_hops; ++hops) {
+    const std::uint64_t seed = 1200 + static_cast<std::uint64_t>(hops);
+    cells.push_back({seed, [&discovery, hops, seed](SimContext& ctx) {
+                       discovery[static_cast<std::size_t>(hops - 1)] =
+                           aodv_discovery_ms(hops, seed, ctx);
+                     }});
+  }
+  for (std::size_t i = 0; i < olsr_sizes.size(); ++i) {
+    const std::size_t nodes = olsr_sizes[i];
+    cells.push_back({1300 + nodes, [&convergence, i, nodes](SimContext& ctx) {
+                       convergence[i] =
+                           olsr_convergence_s(nodes, 1300 + nodes, ctx);
+                     }});
+  }
+  for (std::size_t i = 0; i < idle_sizes.size(); ++i) {
+    const std::size_t nodes = idle_sizes[i];
+    cells.push_back({1400 + nodes, [&idle_aodv, i, nodes](SimContext& ctx) {
+                       idle_aodv[i] = idle_overhead_fps(
+                           nodes, RoutingKind::kAodv, 1400 + nodes, ctx);
+                     }});
+    cells.push_back({1400 + nodes, [&idle_olsr, i, nodes](SimContext& ctx) {
+                       idle_olsr[i] = idle_overhead_fps(
+                           nodes, RoutingKind::kOlsr, 1400 + nodes, ctx);
+                     }});
+  }
+  scenario::run_cells(std::move(cells), args.threads);
+
   bench::print_header("E8a: AODV route discovery latency vs hop count",
                       "cold route, expanding ring search enabled.");
   std::printf("%5s | %12s\n", "hops", "latency");
   std::printf("------+--------------\n");
-  const int max_hops = args.quick ? 2 : 8;
   for (int hops = 1; hops <= max_hops; ++hops) {
-    const bench::WallTimer wall;
-    const double ms =
-        aodv_discovery_ms(hops, 1200 + static_cast<std::uint64_t>(hops));
+    const double ms = discovery[static_cast<std::size_t>(hops - 1)];
     std::printf("%5d | %9.1f ms\n", hops, ms);
     report.add_row("aodv_discovery/" + std::to_string(hops),
-                   {{"hops", hops},
-                    {"discovery_ms", ms},
-                    {"wall_ms", wall.elapsed_ms()}});
+                   {{"hops", hops}, {"discovery_ms", ms}});
   }
 
   bench::print_header("E8b: OLSR convergence time to full reachability",
                       "grid topologies from cold start.");
   std::printf("%6s | %12s\n", "nodes", "convergence");
   std::printf("-------+--------------\n");
-  const std::vector<std::size_t> olsr_sizes =
-      args.quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{
-                                                     4, 9, 16, 25};
-  for (const std::size_t nodes : olsr_sizes) {
-    const bench::WallTimer wall;
-    const double s = olsr_convergence_s(nodes, 1300 + nodes);
-    std::printf("%6zu | %10.1f s\n", nodes, s);
-    report.add_row("olsr_convergence/" + std::to_string(nodes),
-                   {{"nodes", static_cast<double>(nodes)},
-                    {"convergence_s", s},
-                    {"wall_ms", wall.elapsed_ms()}});
+  for (std::size_t i = 0; i < olsr_sizes.size(); ++i) {
+    std::printf("%6zu | %10.1f s\n", olsr_sizes[i], convergence[i]);
+    report.add_row("olsr_convergence/" + std::to_string(olsr_sizes[i]),
+                   {{"nodes", static_cast<double>(olsr_sizes[i])},
+                    {"convergence_s", convergence[i]}});
   }
 
   bench::print_header("E8c: idle routing control overhead",
                       "radio frames per node per second, converged network.");
   std::printf("%6s | %12s | %12s\n", "nodes", "AODV", "OLSR");
   std::printf("-------+--------------+--------------\n");
-  const std::vector<std::size_t> idle_sizes =
-      args.quick ? std::vector<std::size_t>{9} : std::vector<std::size_t>{
-                                                     9, 25, 49};
-  for (const std::size_t nodes : idle_sizes) {
-    const bench::WallTimer wall;
-    const double aodv = idle_overhead_fps(nodes, RoutingKind::kAodv, 1400 + nodes);
-    const double olsr = idle_overhead_fps(nodes, RoutingKind::kOlsr, 1400 + nodes);
-    std::printf("%6zu | %9.2f /s | %9.2f /s\n", nodes, aodv, olsr);
-    report.add_row("idle_overhead/" + std::to_string(nodes),
-                   {{"nodes", static_cast<double>(nodes)},
-                    {"aodv_fps", aodv},
-                    {"olsr_fps", olsr},
-                    {"wall_ms", wall.elapsed_ms()}});
+  for (std::size_t i = 0; i < idle_sizes.size(); ++i) {
+    std::printf("%6zu | %9.2f /s | %9.2f /s\n", idle_sizes[i], idle_aodv[i],
+                idle_olsr[i]);
+    report.add_row("idle_overhead/" + std::to_string(idle_sizes[i]),
+                   {{"nodes", static_cast<double>(idle_sizes[i])},
+                    {"aodv_fps", idle_aodv[i]},
+                    {"olsr_fps", idle_olsr[i]}});
   }
+  std::printf("\ngrid wall time: %.1f ms (%u thread%s)\n", wall.elapsed_ms(),
+              args.threads, args.threads == 1 ? "" : "s");
   report.write(args.json_path);
   std::printf(
       "\nshape check: AODV discovery grows ~linearly in hops; OLSR\n"

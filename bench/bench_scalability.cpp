@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "bench_table.hpp"
+#include "scenario/parallel.hpp"
 #include "scenario/scenario.hpp"
 
 using namespace siphoc;
@@ -22,13 +23,13 @@ struct ScaleRow {
   double setup_ms = 0;
   double control_frames_per_node_s = 0;
   double piggyback_bytes_per_node = 0;
-  double wall_ms = 0;       // how long the cell took to simulate
   double events = 0;        // simulator events executed by the cell
 };
 
-ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed) {
-  const bench::WallTimer wall;
+ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed,
+             SimContext& ctx) {
   scenario::Options options;
+  options.context = &ctx;
   options.seed = seed;
   options.nodes = nodes;
   options.topology = scenario::Topology::kRandomArea;
@@ -88,7 +89,6 @@ ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed) {
   }
   row.piggyback_bytes_per_node =
       static_cast<double>(ext) / static_cast<double>(nodes);
-  row.wall_ms = wall.elapsed_ms();
   row.events = static_cast<double>(bed.sim().events_executed());
   return row;
 }
@@ -102,8 +102,7 @@ void add_json_row(bench::JsonReport& report, const char* routing,
                   {"setup_ms", row.setup_ms},
                   {"ctrl_frames_per_node_s", row.control_frames_per_node_s},
                   {"piggyback_bytes_per_node", row.piggyback_bytes_per_node},
-                  {"events", row.events},
-                  {"wall_ms", row.wall_ms}});
+                  {"events", row.events}});
 }
 
 }  // namespace
@@ -125,9 +124,30 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sizes =
       args.quick ? std::vector<std::size_t>{10} : std::vector<std::size_t>{
                                                       10, 20, 40, 80};
-  for (const std::size_t nodes : sizes) {
-    const auto aodv = run(nodes, RoutingKind::kAodv, 3000 + nodes);
-    const auto olsr = run(nodes, RoutingKind::kOlsr, 3000 + nodes);
+
+  // One cell per (size, protocol): every cell simulates in its own
+  // SimContext, so the grid fans across worker threads and still prints /
+  // exports in submission order (byte-identical for any --threads value).
+  std::vector<ScaleRow> rows(sizes.size() * 2);
+  std::vector<scenario::Cell> cells;
+  const bench::WallTimer wall;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t nodes = sizes[i];
+    cells.push_back({3000 + nodes, [&rows, i, nodes](SimContext& ctx) {
+                       rows[2 * i] = run(nodes, RoutingKind::kAodv,
+                                         3000 + nodes, ctx);
+                     }});
+    cells.push_back({3000 + nodes, [&rows, i, nodes](SimContext& ctx) {
+                       rows[2 * i + 1] = run(nodes, RoutingKind::kOlsr,
+                                             3000 + nodes, ctx);
+                     }});
+  }
+  const auto contexts = scenario::run_cells(std::move(cells), args.threads);
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t nodes = sizes[i];
+    const ScaleRow& aodv = rows[2 * i];
+    const ScaleRow& olsr = rows[2 * i + 1];
     std::printf("%6zu | %4d/%-3d %7.1fms %9.2f | %4d/%-3d %7.1fms %9.2f\n",
                 nodes, aodv.calls_ok, aodv.pairs, aodv.setup_ms,
                 aodv.control_frames_per_node_s, olsr.calls_ok, olsr.pairs,
@@ -135,7 +155,10 @@ int main(int argc, char** argv) {
     add_json_row(report, "aodv", nodes, aodv);
     add_json_row(report, "olsr", nodes, olsr);
   }
+  std::printf("\ngrid wall time: %.1f ms (%u thread%s)\n", wall.elapsed_ms(),
+              args.threads, args.threads == 1 ? "" : "s");
   report.write(args.json_path);
+  bench::write_merged_sidecar("bench_scalability", contexts);
   std::printf(
       "\nshape check: call success and setup time hold up as the network\n"
       "grows at constant density (setup tracks the growing diameter).\n"

@@ -8,11 +8,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/context.hpp"
 #include "common/metrics.hpp"
 
 namespace siphoc::bench {
@@ -56,14 +59,37 @@ inline bool write_metrics_sidecar(const std::string& name) {
   return json_ok && csv_ok;
 }
 
+/// The parallel-bench variant of write_metrics_sidecar: folds the per-cell
+/// registries (submission order) into one export carrying "merged_cells"
+/// provenance. Identical bytes for any --threads value.
+inline bool write_merged_sidecar(
+    const std::string& name,
+    const std::vector<std::unique_ptr<SimContext>>& contexts) {
+  MetricsRegistry merged;
+  for (const auto& context : contexts) merged.merge_from(context->metrics());
+  const bool json_ok = MetricsRegistry::write_file(
+      name + ".metrics.json", merged.to_json(contexts.size()));
+  const bool csv_ok =
+      MetricsRegistry::write_file(name + ".metrics.csv", merged.to_csv());
+  if (json_ok) {
+    std::printf("metrics sidecar: %s.metrics.json (%zu cells merged)\n",
+                name.c_str(), contexts.size());
+  }
+  return json_ok && csv_ok;
+}
+
 /// Common bench command line:
 ///   --quick         shrink the experiment to a seconds-scale smoke run
 ///                   (ctest uses this so the benches cannot bit-rot)
 ///   --json <path>   additionally emit the result rows as JSON in the
 ///                   schema documented in docs/PERFORMANCE.md
+///   --threads <n>   fan independent experiment cells across n worker
+///                   threads (default 1). Tables, --json output and metrics
+///                   sidecars are byte-identical for every value.
 struct BenchArgs {
   bool quick = false;
   std::string json_path;
+  unsigned threads = 1;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -73,8 +99,13 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg == "--json" && i + 1 < argc) {
         args.json_path = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        const long n = std::strtol(argv[++i], nullptr, 10);
+        args.threads = n > 1 ? static_cast<unsigned>(n) : 1;
       } else {
-        std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--json <path>] [--threads <n>]\n",
+                     argv[0]);
       }
     }
     return args;

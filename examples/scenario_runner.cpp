@@ -11,6 +11,13 @@
 // Options:
 //   --metrics PATH       write the metrics sidecar (JSON, siphoc.metrics.v1)
 //   --metrics-csv PATH   same registry contents as CSV
+//   --sweep seeds=K      run the script K times; cell k simulates with seed
+//                        derive_seed(script seed, k) in its own SimContext.
+//                        Narration prints per cell in seed order and the
+//                        metrics sidecars become the merged registries of
+//                        all cells ("merged_cells": K).
+//   --threads T          worker threads for --sweep (default 1); output is
+//                        byte-identical for every T
 //
 // Script commands (one per line; '#' starts a comment):
 //   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
@@ -27,12 +34,15 @@
 //   slp NODE                                      -- dump a node's SLP view
 //   trace on|off                                  -- live packet decoding
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "common/context.hpp"
 #include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "scenario/parallel.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace.hpp"
 
@@ -65,16 +75,31 @@ struct Runner {
   std::map<std::string, sip::CallId> last_call;
   std::uint64_t seed = 42;
   int errors = 0;
+  // Sweep-cell plumbing: narration goes to `out` (a memstream when the
+  // runner is one cell of a --sweep), the testbed simulates inside `ctx`,
+  // and the cell's seed is derive_seed(script seed, cell index) so cells
+  // stay decorrelated no matter what the script's `seed` line says.
+  FILE* out = stdout;
+  SimContext* ctx = nullptr;
+  bool sweep = false;
+  std::uint64_t cell_index = 0;
+  std::uint64_t effective_seed = 0;
+
+  std::uint64_t pick_seed() {
+    effective_seed = sweep ? SimContext::derive_seed(seed, cell_index) : seed;
+    return effective_seed;
+  }
 
   void fail(const std::string& why) {
-    std::printf("  !! %s\n", why.c_str());
+    std::fprintf(out, "  !! %s\n", why.c_str());
     ++errors;
   }
 
   void ensure_bed() {
     if (!bed) {
       scenario::Options o;
-      o.seed = seed;
+      o.context = ctx;
+      o.seed = pick_seed();
       bed = std::make_unique<scenario::Testbed>(o);
     }
   }
@@ -84,7 +109,7 @@ struct Runner {
     std::istringstream is(line);
     std::string cmd;
     if (!(is >> cmd)) return;
-    std::printf("> %s\n", std::string(trim(line)).c_str());
+    std::fprintf(out, "> %s\n", std::string(trim(line)).c_str());
 
     if (cmd == "seed") {
       is >> seed;
@@ -94,7 +119,8 @@ struct Runner {
       double spacing = 100;
       is >> n >> topo >> spacing >> routing;
       scenario::Options o;
-      o.seed = seed;
+      o.context = ctx;
+      o.seed = pick_seed();
       o.nodes = n;
       o.spacing = spacing;
       o.topology = topo == "grid"     ? scenario::Topology::kGrid
@@ -104,8 +130,8 @@ struct Runner {
       bed = std::make_unique<scenario::Testbed>(o);
       trace = std::make_unique<scenario::TraceRecorder>(bed->medium());
       bed->start();
-      std::printf("  %zu nodes, %s, %s routing\n", n, topo.c_str(),
-                  routing.c_str());
+      std::fprintf(out, "  %zu nodes, %s, %s routing\n", n, topo.c_str(),
+                   routing.c_str());
     } else if (cmd == "gateway") {
       ensure_bed();
       std::size_t node = 0;
@@ -123,16 +149,17 @@ struct Runner {
       is >> node >> user >> domain;
       auto& phone = bed->add_phone(node, user, domain);
       voip::SoftPhoneEvents ev;
-      ev.on_incoming = [user](sip::CallId, const sip::Uri& from) {
-        std::printf("  [%s] ringing: call from %s\n", user.c_str(),
-                    from.aor().c_str());
+      ev.on_incoming = [this, user](sip::CallId, const sip::Uri& from) {
+        std::fprintf(out, "  [%s] ringing: call from %s\n", user.c_str(),
+                     from.aor().c_str());
       };
-      ev.on_text = [user](const sip::Uri& from, const std::string& text) {
-        std::printf("  [%s] text from %s: \"%s\"\n", user.c_str(),
-                    from.aor().c_str(), text.c_str());
+      ev.on_text = [this, user](const sip::Uri& from,
+                                const std::string& text) {
+        std::fprintf(out, "  [%s] text from %s: \"%s\"\n", user.c_str(),
+                     from.aor().c_str(), text.c_str());
       };
-      ev.on_ended = [user](sip::CallId) {
-        std::printf("  [%s] call ended\n", user.c_str());
+      ev.on_ended = [this, user](sip::CallId) {
+        std::fprintf(out, "  [%s] call ended\n", user.c_str());
       };
       phone.set_events(std::move(ev));
       phones[user] = &phone;
@@ -148,8 +175,8 @@ struct Runner {
       const auto it = phones.find(user);
       if (it == phones.end()) return fail("unknown phone " + user);
       const bool ok = bed->register_and_wait(*it->second);
-      std::printf("  [%s] REGISTER -> %s\n", user.c_str(),
-                  ok ? "200 OK" : "FAILED");
+      std::fprintf(out, "  [%s] REGISTER -> %s\n", user.c_str(),
+                   ok ? "200 OK" : "FAILED");
       if (!ok) ++errors;
     } else if (cmd == "call") {
       std::string user, target;
@@ -159,9 +186,9 @@ struct Runner {
       const auto result = bed->call_and_wait(*it->second, target);
       if (result.established) {
         last_call[user] = result.call;
-        std::printf("  [%s] call to %s established in %.1f ms\n",
-                    user.c_str(), target.c_str(),
-                    to_millis(result.setup_time));
+        std::fprintf(out, "  [%s] call to %s established in %.1f ms\n",
+                     user.c_str(), target.c_str(),
+                     to_millis(result.setup_time));
       } else {
         fail("call failed with status " +
              std::to_string(result.failure_status));
@@ -187,24 +214,24 @@ struct Runner {
       if (it == last_call.end()) return fail("no call to hang up");
       phones.at(user)->hang_up(it->second);
       if (const auto rep = phones.at(user)->call_report(it->second)) {
-        std::printf("  [%s] call quality: MOS %.2f, %.2f%% loss\n",
-                    user.c_str(), rep->quality.mos,
-                    rep->effective_loss_percent);
+        std::fprintf(out, "  [%s] call quality: MOS %.2f, %.2f%% loss\n",
+                     user.c_str(), rep->quality.mos,
+                     rep->effective_loss_percent);
       }
     } else if (cmd == "slp") {
       std::size_t node = 0;
       is >> node;
       if (!bed || node >= bed->size()) return fail("bad node");
-      std::printf("  MANET SLP on node %zu:\n", node);
+      std::fprintf(out, "  MANET SLP on node %zu:\n", node);
       for (const auto& e : bed->stack(node).slp().snapshot()) {
-        std::printf("    %s\n", e.to_string().c_str());
+        std::fprintf(out, "    %s\n", e.to_string().c_str());
       }
     } else if (cmd == "trace") {
       std::string mode;
       is >> mode;
       trace_live = mode == "on";
       if (!trace_live && trace) {
-        std::printf("  (captured %zu frames)\n", trace->captured());
+        std::fprintf(out, "  (captured %zu frames)\n", trace->captured());
       }
     } else {
       fail("unknown command '" + cmd + "'");
@@ -218,12 +245,26 @@ int main(int argc, char** argv) {
   std::string script_path;
   std::string metrics_path;
   std::string metrics_csv_path;
+  std::size_t sweep_seeds = 0;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--metrics-csv" && i + 1 < argc) {
       metrics_csv_path = argv[++i];
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      if (spec.rfind("seeds=", 0) == 0) spec = spec.substr(6);
+      const long k = std::strtol(spec.c_str(), nullptr, 10);
+      if (k < 1) {
+        std::fprintf(stderr, "--sweep expects seeds=K with K >= 1\n");
+        return 2;
+      }
+      sweep_seeds = static_cast<std::size_t>(k);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      threads = n > 1 ? static_cast<unsigned>(n) : 1;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
@@ -248,24 +289,94 @@ int main(int argc, char** argv) {
     std::printf("== built-in demo scenario ==\n");
   }
 
-  Runner runner;
-  for (const auto& line : split(script, '\n')) {
-    runner.run_line(line);
+  if (sweep_seeds == 0) {
+    // Single run, exactly as before the sweep mode existed: simulate in the
+    // process-global context and export its registry.
+    Runner runner;
+    for (const auto& line : split(script, '\n')) {
+      runner.run_line(line);
+    }
+
+    auto& registry = MetricsRegistry::instance();
+    if (!metrics_path.empty()) {
+      if (MetricsRegistry::write_file(metrics_path, registry.to_json())) {
+        std::printf("metrics sidecar written to %s\n", metrics_path.c_str());
+      } else {
+        ++runner.errors;
+      }
+    }
+    if (!metrics_csv_path.empty() &&
+        !MetricsRegistry::write_file(metrics_csv_path, registry.to_csv())) {
+      ++runner.errors;
+    }
+
+    std::printf("\nscenario finished with %d error(s).\n", runner.errors);
+    return runner.errors == 0 ? 0 : 1;
   }
 
-  auto& registry = MetricsRegistry::instance();
+  // Sweep: one isolated cell per seed. Each cell narrates into a memstream
+  // so workers never interleave on stdout; buffers are replayed in seed
+  // order afterwards, making the output byte-identical for any --threads.
+  struct CellResult {
+    std::string output;
+    int errors = 0;
+    std::uint64_t seed = 0;
+  };
+  std::vector<CellResult> results(sweep_seeds);
+  std::vector<scenario::Cell> cells;
+  cells.reserve(sweep_seeds);
+  for (std::size_t k = 0; k < sweep_seeds; ++k) {
+    cells.push_back({0, [k, &results, &script](SimContext& ctx) {
+                       char* buf = nullptr;
+                       std::size_t len = 0;
+                       FILE* f = open_memstream(&buf, &len);
+                       {
+                         Runner runner;
+                         runner.out = f != nullptr ? f : stdout;
+                         runner.ctx = &ctx;
+                         runner.sweep = true;
+                         runner.cell_index = k;
+                         for (const auto& line : split(script, '\n')) {
+                           runner.run_line(line);
+                         }
+                         results[k].errors = runner.errors;
+                         results[k].seed = runner.effective_seed;
+                       }
+                       if (f != nullptr) {
+                         std::fclose(f);
+                         results[k].output.assign(buf, len);
+                         std::free(buf);
+                       }
+                     }});
+  }
+  const auto contexts = scenario::run_cells(std::move(cells), threads);
+
+  int errors = 0;
+  for (std::size_t k = 0; k < sweep_seeds; ++k) {
+    std::printf("\n-- sweep cell %zu (seed %llu) --\n", k,
+                static_cast<unsigned long long>(results[k].seed));
+    std::fwrite(results[k].output.data(), 1, results[k].output.size(),
+                stdout);
+    errors += results[k].errors;
+  }
+
+  MetricsRegistry merged;
+  for (const auto& context : contexts) merged.merge_from(context->metrics());
   if (!metrics_path.empty()) {
-    if (MetricsRegistry::write_file(metrics_path, registry.to_json())) {
-      std::printf("metrics sidecar written to %s\n", metrics_path.c_str());
+    if (MetricsRegistry::write_file(metrics_path,
+                                    merged.to_json(contexts.size()))) {
+      std::printf("metrics sidecar written to %s (%zu cells merged)\n",
+                  metrics_path.c_str(), contexts.size());
     } else {
-      ++runner.errors;
+      ++errors;
     }
   }
   if (!metrics_csv_path.empty() &&
-      !MetricsRegistry::write_file(metrics_csv_path, registry.to_csv())) {
-    ++runner.errors;
+      !MetricsRegistry::write_file(metrics_csv_path, merged.to_csv())) {
+    ++errors;
   }
 
-  std::printf("\nscenario finished with %d error(s).\n", runner.errors);
-  return runner.errors == 0 ? 0 : 1;
+  std::printf("\nsweep of %zu seed(s) finished with %d error(s).\n",
+              sweep_seeds, errors);
+  return errors == 0 ? 0 : 1;
 }

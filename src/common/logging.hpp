@@ -29,10 +29,16 @@ struct LogRecord {
 
 using LogSink = std::function<void(const LogRecord&)>;
 
-/// Process-wide logging configuration. The simulator sets the time source.
+/// Logging configuration: sink, level, time source. One instance per
+/// SimContext; instance() is the default context's (process-wide) one and
+/// current() resolves the thread-bound context's (see common/context.hpp).
+/// The simulator sets the time source on its own context's instance.
 class Logging {
  public:
+  Logging() = default;
+
   static Logging& instance();
+  static Logging& current();
 
   void set_sink(LogSink sink) { sink_ = std::move(sink); }
   void set_level(LogLevel level) { level_ = level; }
@@ -65,7 +71,7 @@ class Logger {
 
   template <typename... Args>
   void log(LogLevel level, Args&&... args) const {
-    auto& g = Logging::instance();
+    auto& g = Logging::current();
     if (level < g.level()) return;
     std::ostringstream os;
     (os << ... << std::forward<Args>(args));

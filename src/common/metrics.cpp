@@ -1,5 +1,6 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -65,6 +66,13 @@ void Histogram::observe(double v) {
   ++counts_[i];
   ++count_;
   sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -185,11 +193,14 @@ const Counter* MetricsRegistry::find_counter(std::string_view name,
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
-std::string MetricsRegistry::to_json() const {
+std::string MetricsRegistry::to_json(std::size_t merged_cells) const {
   std::string out;
   out.reserve(4096);
   out += "{\n  \"schema\": \"siphoc.metrics.v1\",\n  \"emitted_at_us\": ";
   out += std::to_string(now().time_since_epoch().count());
+  if (merged_cells > 0) {
+    out += ",\n  \"merged_cells\": " + std::to_string(merged_cells);
+  }
   out += ",\n  \"counters\": [";
   bool first = true;
   for (const auto& [key, counter] : counters_) {
@@ -325,6 +336,25 @@ void MetricsRegistry::reset() {
   span_ring_.clear();
   span_head_ = 0;
   spans_recorded_ = 0;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, c] : other.counters_) {
+    counter(key.name, key.node, key.component).add(c->value());
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    gauge(key.name, key.node, key.component).set(g->value());
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    histogram(key.name, h->bounds(), key.node, key.component).merge(*h);
+  }
+  // Spans append oldest-first through the ring, so capacity trimming drops
+  // the globally oldest spans exactly as one accumulating registry would.
+  for (const SpanRecord& s : other.spans()) {
+    record_span(s.name, s.component, s.node, s.t_start, s.t_end);
+  }
+  // Ring-evicted spans of the source still count as recorded downstream.
+  spans_recorded_ += other.spans_dropped();
 }
 
 }  // namespace siphoc

@@ -1,4 +1,4 @@
-// Process-wide metrics registry and span tracer.
+// Metrics registry and span tracer.
 //
 // Every layer of the stack reports into one registry so benches, examples
 // and tests read a single machine-readable surface instead of scraping
@@ -7,6 +7,13 @@
 // -- the same pair a LogRecord carries -- and a ring-buffer tracer records
 // (t_start, t_end, component, node, name) spans for latency-shaped
 // quantities (route discovery, SLP resolution, INVITE transactions).
+//
+// Registries are per-simulation: each SimContext owns one, and instance()
+// is merely the default context's registry (see common/context.hpp and
+// docs/METRICS.md "Per-simulation registries"). A registry instance is
+// single-threaded by design -- parallel experiment cells each get their
+// own and are merged afterwards via merge_from(), in submission order, so
+// merged sidecars are independent of thread count.
 //
 // Timestamps come from the same virtual-time hook Logging uses: the
 // simulator registers itself as the time source, so exports line up with
@@ -66,6 +73,11 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Accumulates another histogram's buckets/count/sum. Both sides must
+  /// share bucket bounds (guaranteed when both were registered under the
+  /// same metric name); mismatched extra buckets are ignored defensively.
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -84,7 +96,14 @@ struct SpanRecord {
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+
+  /// The process-default registry (the one SimContext::global() wraps).
   static MetricsRegistry& instance();
+
+  /// The registry of the thread-bound SimContext; instance() when no
+  /// context is bound. Leaf code with no path to a simulator uses this.
+  static MetricsRegistry& current();
 
   /// The simulator registers itself here (same hook shape as Logging) so
   /// span timestamps and export headers carry virtual time.
@@ -128,8 +147,10 @@ class MetricsRegistry {
                               std::string_view component) const;
 
   // --- export -------------------------------------------------------------
-  /// Schema "siphoc.metrics.v1"; see docs/METRICS.md.
-  std::string to_json() const;
+  /// Schema "siphoc.metrics.v1"; see docs/METRICS.md. A registry that was
+  /// merge_from()'d out of parallel cells passes the cell count so the
+  /// sidecar records its provenance ("merged_cells": N).
+  std::string to_json(std::size_t merged_cells = 0) const;
   std::string to_csv() const;
   /// Writes `contents` to `path`; false (with a stderr note) on failure.
   static bool write_file(const std::string& path, const std::string& contents);
@@ -137,6 +158,14 @@ class MetricsRegistry {
   /// Drops every series and span. Caps and the time source survive --
   /// benches call this between runs, the simulator outlives none of it.
   void reset();
+
+  /// Folds another registry into this one: counters and histograms
+  /// accumulate, gauges take the other side's value (last write wins, like
+  /// a sequential run would), spans append through the ring. The parallel
+  /// cell runner merges per-cell registries in submission order, which
+  /// makes the merged export a pure function of the cell list -- identical
+  /// for any thread count.
+  void merge_from(const MetricsRegistry& other);
 
  private:
   struct SeriesKey {
@@ -163,22 +192,27 @@ class MetricsRegistry {
   std::uint64_t spans_recorded_ = 0;
 };
 
-/// RAII span over virtual time: records [construction, destruction].
+/// RAII span over virtual time: records [construction, destruction] on the
+/// given registry, defaulting to the thread-bound context's registry.
 class ScopedSpan {
  public:
-  ScopedSpan(std::string name, std::string component, std::string node = {})
-      : name_(std::move(name)),
+  ScopedSpan(std::string name, std::string component, std::string node = {},
+             MetricsRegistry* registry = nullptr)
+      : registry_(registry != nullptr ? registry
+                                      : &MetricsRegistry::current()),
+        name_(std::move(name)),
         component_(std::move(component)),
         node_(std::move(node)),
-        start_(MetricsRegistry::instance().now()) {}
+        start_(registry_->now()) {}
   ~ScopedSpan() {
-    auto& r = MetricsRegistry::instance();
-    r.record_span(name_, component_, node_, start_, r.now());
+    registry_->record_span(name_, component_, node_, start_,
+                           registry_->now());
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  MetricsRegistry* registry_;
   std::string name_;
   std::string component_;
   std::string node_;

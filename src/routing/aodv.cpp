@@ -8,28 +8,23 @@ using aodv::Rerr;
 using aodv::Rrep;
 using aodv::Rreq;
 
-Aodv::Metrics::Metrics(std::string_view node)
-    : routing("aodv", node),
-      rreq_originated(MetricsRegistry::instance().counter(
-          "aodv.rreq_originated_total", node, "aodv")),
-      rreq_forwarded(MetricsRegistry::instance().counter(
-          "aodv.rreq_forwarded_total", node, "aodv")),
-      rrep_tx(MetricsRegistry::instance().counter("aodv.rrep_tx_total", node,
-                                                  "aodv")),
-      rerr_tx(MetricsRegistry::instance().counter("aodv.rerr_tx_total", node,
-                                                  "aodv")),
-      hello_tx(MetricsRegistry::instance().counter("aodv.hello_tx_total", node,
-                                                   "aodv")),
-      discoveries(MetricsRegistry::instance().counter(
-          "aodv.route_discoveries_total", node, "aodv")),
-      discovery_failures(MetricsRegistry::instance().counter(
-          "aodv.discovery_failures_total", node, "aodv")),
-      discovery_ms(MetricsRegistry::instance().histogram(
-          "routing.route_discovery_ms", kLatencyBucketsMs, node, "aodv")) {}
+Aodv::Metrics::Metrics(MetricsRegistry& r, std::string_view node)
+    : registry(&r),
+      routing(r, "aodv", node),
+      rreq_originated(r.counter("aodv.rreq_originated_total", node, "aodv")),
+      rreq_forwarded(r.counter("aodv.rreq_forwarded_total", node, "aodv")),
+      rrep_tx(r.counter("aodv.rrep_tx_total", node, "aodv")),
+      rerr_tx(r.counter("aodv.rerr_tx_total", node, "aodv")),
+      hello_tx(r.counter("aodv.hello_tx_total", node, "aodv")),
+      discoveries(r.counter("aodv.route_discoveries_total", node, "aodv")),
+      discovery_failures(
+          r.counter("aodv.discovery_failures_total", node, "aodv")),
+      discovery_ms(r.histogram("routing.route_discovery_ms",
+                               kLatencyBucketsMs, node, "aodv")) {}
 
 Aodv::Aodv(net::Host& host, AodvConfig config)
     : host_(host), config_(config), log_("aodv", host.name()),
-      metrics_(host.name()) {
+      metrics_(host.sim().ctx().metrics(), host.name()) {
   table_.set_callbacks([this](const AodvRoute& r) { install_fib(r); },
                        [this](const AodvRoute& r) { remove_fib(r); });
 }
@@ -135,15 +130,37 @@ void Aodv::broadcast_rreq(Rreq rreq, const Bytes& query_ext) {
 
 void Aodv::send_hello() {
   // RFC 3561 6.9: HELLO is an RREP with dst = self and hop count 0.
-  Rrep hello;
-  hello.dst = self();
-  hello.dst_seqno = seqno_;
-  hello.hop_count = 0;
-  hello.lifetime_ms = static_cast<std::uint32_t>(
+  const PacketInfo info{PacketKind::kAodvHello, self(), self()};
+  Bytes ext;
+  if (handler_ != nullptr) ext = handler_->on_outgoing(info);
+  const auto lifetime = static_cast<std::uint32_t>(
       to_millis(config_.allowed_hello_loss * config_.hello_interval));
-  hello.is_hello = true;
-  send_packet(hello, net::Address{},
-              PacketInfo{PacketKind::kAodvHello, self(), self()});
+  // HELLO inputs change rarely (seqno on discovery activity, the piggyback
+  // block on SLP churn); steady-state beacons reuse the previous wire
+  // image instead of re-encoding every interval.
+  if (!hello_wire_valid_ || hello_wire_seqno_ != seqno_ ||
+      hello_wire_lifetime_ != lifetime || hello_wire_ext_ != ext) {
+    Rrep hello;
+    hello.dst = self();
+    hello.dst_seqno = seqno_;
+    hello.hop_count = 0;
+    hello.lifetime_ms = lifetime;
+    hello.is_hello = true;
+    hello_wire_ = aodv::encode(hello, ext);
+    hello_wire_ext_ = ext;
+    hello_wire_seqno_ = seqno_;
+    hello_wire_lifetime_ = lifetime;
+    hello_wire_valid_ = true;
+  }
+  Bytes wire = hello_wire_;  // the send path consumes its buffer
+  ++stats_.control_packets_sent;
+  stats_.control_bytes_sent += wire.size();
+  stats_.extension_bytes_sent += ext.size();
+  metrics_.routing.control_packets.add();
+  metrics_.routing.control_bytes.add(wire.size());
+  metrics_.routing.piggyback_bytes.add(ext.size());
+  metrics_.hello_tx.add();
+  host_.send_broadcast(net::kAodvPort, net::kAodvPort, std::move(wire));
 }
 
 // --------------------------------------------------------------------------
@@ -432,9 +449,8 @@ void Aodv::flush_buffered(net::Address dst) {
   if (it == discoveries_.end()) return;
   auto buffered = std::move(it->second.buffered);
   metrics_.discovery_ms.observe(to_millis(now() - it->second.started));
-  MetricsRegistry::instance().record_span("route_discovery", "aodv",
-                                          host_.name(), it->second.started,
-                                          now());
+  metrics_.registry->record_span("route_discovery", "aodv", host_.name(),
+                                 it->second.started, now());
   it->second.timeout.cancel();
   discoveries_.erase(it);
   for (auto& d : buffered) host_.send_datagram(std::move(d));

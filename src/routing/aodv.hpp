@@ -77,7 +77,8 @@ class Aodv final : public Protocol {
   };
 
   struct Metrics {
-    explicit Metrics(std::string_view node);
+    Metrics(MetricsRegistry& registry, std::string_view node);
+    MetricsRegistry* registry;  // the simulation's registry (spans)
     RoutingMetrics routing;
     Counter& rreq_originated;
     Counter& rreq_forwarded;
@@ -140,6 +141,15 @@ class Aodv final : public Protocol {
   sim::PeriodicTimer housekeeping_timer_;
   RoutingStats stats_;
   Metrics metrics_;
+
+  // HELLO wire-image cache: beacons re-encode only when an input (seqno,
+  // lifetime, piggyback block) changed since the last one. Mirrors the
+  // input-snapshot early-out OLSR's route calculation uses.
+  Bytes hello_wire_;
+  Bytes hello_wire_ext_;
+  std::uint32_t hello_wire_seqno_ = 0;
+  std::uint32_t hello_wire_lifetime_ = 0;
+  bool hello_wire_valid_ = false;
 };
 
 }  // namespace siphoc::routing

@@ -103,8 +103,19 @@ Result<Rerr> decode_rerr(BufferReader& r) {
 
 }  // namespace
 
+// Exact wire size of the message body (type byte included), so encode()
+// reserves once instead of growing through vector doublings.
+struct BodySize {
+  std::size_t operator()(const Rreq&) const { return 24; }
+  std::size_t operator()(const Rrep&) const { return 19; }
+  std::size_t operator()(const Rerr& m) const {
+    return 2 + 8 * m.destinations.size();
+  }
+};
+
 Bytes encode(const Message& message, std::span<const std::uint8_t> extension) {
   Bytes out;
+  out.reserve(std::visit(BodySize{}, message) + 2 + extension.size());
   BufferWriter w(out);
   std::visit([&](const auto& m) { encode_body(w, m); }, message);
   w.u16(static_cast<std::uint16_t>(extension.size()));

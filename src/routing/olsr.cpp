@@ -12,18 +12,15 @@ using olsr::MsgType;
 using olsr::Packet;
 using olsr::Tc;
 
-Olsr::Metrics::Metrics(std::string_view node)
-    : routing("olsr", node),
-      hello_tx(MetricsRegistry::instance().counter("olsr.hello_tx_total", node,
-                                                   "olsr")),
-      tc_tx(MetricsRegistry::instance().counter("olsr.tc_tx_total", node,
-                                                "olsr")),
-      tc_forwarded(MetricsRegistry::instance().counter(
-          "olsr.tc_forwarded_total", node, "olsr")) {}
+Olsr::Metrics::Metrics(MetricsRegistry& r, std::string_view node)
+    : routing(r, "olsr", node),
+      hello_tx(r.counter("olsr.hello_tx_total", node, "olsr")),
+      tc_tx(r.counter("olsr.tc_tx_total", node, "olsr")),
+      tc_forwarded(r.counter("olsr.tc_forwarded_total", node, "olsr")) {}
 
 Olsr::Olsr(net::Host& host, OlsrConfig config)
     : host_(host), config_(config), log_("olsr", host.name()),
-      metrics_(host.name()) {}
+      metrics_(host.sim().ctx().metrics(), host.name()) {}
 
 Olsr::~Olsr() { stop(); }
 

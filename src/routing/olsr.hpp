@@ -71,7 +71,7 @@ class Olsr final : public Protocol {
   };
 
   struct Metrics {
-    explicit Metrics(std::string_view node);
+    Metrics(MetricsRegistry& registry, std::string_view node);
     RoutingMetrics routing;
     Counter& hello_tx;
     Counter& tc_tx;

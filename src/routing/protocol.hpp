@@ -85,15 +85,17 @@ struct RoutingStats {
 /// Registry series shared by both daemons: the same three names with the
 /// component label telling AODV from OLSR, so overhead benches can sum
 /// across protocols without knowing which one ran. Bound once per daemon
-/// instance; see docs/METRICS.md for the catalog entry of each name.
+/// instance against its simulation's registry; see docs/METRICS.md for the
+/// catalog entry of each name.
 struct RoutingMetrics {
-  RoutingMetrics(std::string_view component, std::string_view node)
-      : control_packets(MetricsRegistry::instance().counter(
-            "routing.control_packets_total", node, component)),
-        control_bytes(MetricsRegistry::instance().counter(
-            "routing.control_bytes_total", node, component)),
-        piggyback_bytes(MetricsRegistry::instance().counter(
-            "routing.piggyback_bytes_total", node, component)) {}
+  RoutingMetrics(MetricsRegistry& registry, std::string_view component,
+                 std::string_view node)
+      : control_packets(registry.counter("routing.control_packets_total",
+                                         node, component)),
+        control_bytes(registry.counter("routing.control_bytes_total", node,
+                                       component)),
+        piggyback_bytes(registry.counter("routing.piggyback_bytes_total",
+                                         node, component)) {}
 
   Counter& control_packets;
   Counter& control_bytes;

@@ -2,8 +2,7 @@
 
 namespace siphoc::rtp {
 
-void JitterBuffer::bind_metrics(std::string_view node) {
-  auto& r = MetricsRegistry::instance();
+void JitterBuffer::bind_metrics(MetricsRegistry& r, std::string_view node) {
   late_counter_ = &r.counter("rtp.late_drops_total", node, "rtp");
   duplicate_counter_ = &r.counter("rtp.duplicate_drops_total", node, "rtp");
   played_counter_ = &r.counter("rtp.played_total", node, "rtp");

@@ -20,9 +20,9 @@ class JitterBuffer {
   explicit JitterBuffer(Duration playout_delay = milliseconds(60))
       : playout_delay_(playout_delay) {}
 
-  /// Publishes drop/playout counters as registry series labeled with
+  /// Publishes drop/playout counters as series on `registry` labeled with
   /// `node` (component "rtp"); optional, like ReceiverStats::bind_metrics.
-  void bind_metrics(std::string_view node);
+  void bind_metrics(MetricsRegistry& registry, std::string_view node);
 
   /// Inserts a received packet; returns false when the packet arrived after
   /// its playout deadline (late loss) or is a duplicate.

@@ -5,8 +5,7 @@
 
 namespace siphoc::rtp {
 
-void ReceiverStats::bind_metrics(std::string_view node) {
-  auto& r = MetricsRegistry::instance();
+void ReceiverStats::bind_metrics(MetricsRegistry& r, std::string_view node) {
   rx_counter_ = &r.counter("rtp.packets_rx_total", node, "rtp");
   reordered_counter_ = &r.counter("rtp.packets_reordered_total", node, "rtp");
   lost_gauge_ = &r.gauge("rtp.packets_lost", node, "rtp");

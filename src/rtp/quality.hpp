@@ -17,12 +17,12 @@ namespace siphoc::rtp {
 /// Interarrival jitter and loss bookkeeping per RFC 3550 6.4 / A.8.
 class ReceiverStats {
  public:
-  /// Publishes this receiver's counters/gauges as registry series labeled
-  /// with `node` (component "rtp"). Unbound stats keep working standalone
-  /// (unit tests construct them without a host); binding is how the RTP
-  /// session reports into the shared observability surface instead of
-  /// duplicating the bookkeeping.
-  void bind_metrics(std::string_view node);
+  /// Publishes this receiver's counters/gauges as series on `registry`
+  /// labeled with `node` (component "rtp"). Unbound stats keep working
+  /// standalone (unit tests construct them without a host); binding is how
+  /// the RTP session reports into its simulation's observability surface
+  /// instead of duplicating the bookkeeping.
+  void bind_metrics(MetricsRegistry& registry, std::string_view node);
 
   void on_packet(const RtpPacket& packet, TimePoint arrival, TimePoint sent);
 

@@ -10,8 +10,8 @@ Session::Session(net::Host& host, SessionConfig config)
       jitter_(config.playout_delay),
       ssrc_(host.rng().uniform_int(1, 0xffffffff)),
       seq_(static_cast<std::uint16_t>(host.rng().uniform_int(0, 0xffff))) {
-  stats_.bind_metrics(host.name());
-  jitter_.bind_metrics(host.name());
+  stats_.bind_metrics(host.sim().ctx().metrics(), host.name());
+  jitter_.bind_metrics(host.sim().ctx().metrics(), host.name());
 }
 
 Session::~Session() { stop(); }
@@ -54,7 +54,7 @@ void Session::on_frame_timer() {
       ++seq_, timestamp_, ssrc_, tick.spurt_start, host_.sim().now());
   ++sent_;
   sent_octets_ += packet.payload.size();
-  MetricsRegistry::instance()
+  host_.sim().ctx().metrics()
       .counter("rtp.packets_tx_total", host_.name(), "rtp")
       .add();
   host_.send_udp(config_.local_port, config_.remote, packet.encode());

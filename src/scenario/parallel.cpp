@@ -1,0 +1,70 @@
+#include "scenario/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/metrics.hpp"
+
+namespace siphoc::scenario {
+
+namespace {
+
+void run_one(SimContext& context, Cell& cell) {
+  SimContext::Bind bind(context);
+  cell.run(context);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<SimContext>> run_cells(std::vector<Cell> cells,
+                                                   unsigned threads) {
+  // Pre-create every context up front so the result vector is fixed in
+  // submission order before any worker starts; workers only ever touch
+  // contexts[i] for cells they claimed, so no synchronization beyond the
+  // claim index is needed.
+  std::vector<std::unique_ptr<SimContext>> contexts;
+  contexts.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    auto context = std::make_unique<SimContext>();
+    context->set_root_seed(cell.seed);
+    contexts.push_back(std::move(context));
+  }
+
+  const std::size_t n = cells.size();
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(*contexts[i], cells[i]);
+    return contexts;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      run_one(*contexts[i], cells[i]);
+    }
+  };
+
+  const std::size_t pool_size =
+      std::min<std::size_t>(threads, n);
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return contexts;
+}
+
+std::string merged_metrics_json(
+    const std::vector<std::unique_ptr<SimContext>>& contexts) {
+  MetricsRegistry merged;
+  for (const auto& context : contexts) merged.merge_from(context->metrics());
+  return merged.to_json(contexts.size());
+}
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace siphoc::scenario

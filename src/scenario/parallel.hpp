@@ -1,0 +1,57 @@
+// Parallel experiment cell runner.
+//
+// An experiment grid (a bench sweep, a seed sweep) is a list of independent
+// (config, seed) cells: each cell builds its own Testbed in its own
+// SimContext and runs to a verdict, sharing no mutable state with any other
+// cell. That independence is what this runner exploits: a fixed-size thread
+// pool fans the cells across cores, and because every cell's output lands
+// in its own context, results can be read back -- and per-cell registries
+// merged -- in submission order, making tables, --json output and metrics
+// sidecars byte-identical to a --threads 1 run.
+//
+// Determinism contract:
+//   * cell k's seed is SimContext::derive_seed(root, k) -- a pure function
+//     of the sweep root and the cell index, never of scheduling;
+//   * each worker binds the cell's context (SimContext::Bind) for the whole
+//     cell body, so even leaf code resolving via current() stays isolated;
+//   * contexts are returned in submission order and merge_from() is folded
+//     left-to-right over that order.
+// See docs/PERFORMANCE.md "Parallel harness".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/context.hpp"
+
+namespace siphoc::scenario {
+
+/// One independent unit of work: the runner creates a fresh SimContext with
+/// root_seed = `seed`, binds it on the executing thread, and invokes `run`.
+/// The body must reach all process services through the given context (or
+/// through current(), which resolves to it) and must not touch the global
+/// registry or any state shared with other cells.
+struct Cell {
+  std::uint64_t seed = 0;
+  std::function<void(SimContext&)> run;
+};
+
+/// Runs every cell, using up to `threads` worker threads (values <= 1, or a
+/// single cell, run inline on the calling thread). Returns the per-cell
+/// contexts in submission order regardless of completion order. Cells must
+/// not throw.
+std::vector<std::unique_ptr<SimContext>> run_cells(std::vector<Cell> cells,
+                                                   unsigned threads);
+
+/// Folds the cells' registries into one (submission order, see
+/// MetricsRegistry::merge_from) and returns its sidecar JSON with
+/// "merged_cells" provenance.
+std::string merged_metrics_json(
+    const std::vector<std::unique_ptr<SimContext>>& contexts);
+
+/// std::thread::hardware_concurrency with a floor of 1.
+unsigned default_thread_count();
+
+}  // namespace siphoc::scenario

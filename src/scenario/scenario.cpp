@@ -3,7 +3,10 @@
 namespace siphoc::scenario {
 
 Testbed::Testbed(Options options) : options_(std::move(options)) {
-  sim_ = std::make_unique<sim::Simulator>(options_.seed);
+  sim_ = std::make_unique<sim::Simulator>(options_.seed, options_.context);
+  // Bind for the rest of construction: component constructors register
+  // metrics/loggers and must land in this testbed's context.
+  SimContext::Bind bind(sim_->ctx());
   medium_ = std::make_unique<net::RadioMedium>(*sim_, options_.radio);
   internet_ =
       std::make_unique<net::Internet>(*sim_, options_.internet_latency);
@@ -47,6 +50,7 @@ Testbed::Testbed(Options options) : options_(std::move(options)) {
 }
 
 Testbed::~Testbed() {
+  SimContext::Bind bind(sim_->ctx());
   // Stop middleware before hosts/medium go away.
   for (auto& stack : stacks_) stack->stop();
 }
@@ -54,6 +58,7 @@ Testbed::~Testbed() {
 void Testbed::start() {
   if (started_) return;
   started_ = true;
+  SimContext::Bind bind(sim_->ctx());
   for (auto& stack : stacks_) stack->start();
 }
 
@@ -68,6 +73,7 @@ voip::SoftPhone& Testbed::add_phone(std::size_t node,
 
 voip::SoftPhone& Testbed::add_phone(std::size_t node,
                                     voip::SoftPhoneConfig config) {
+  SimContext::Bind bind(sim_->ctx());
   phones_.push_back(
       std::make_unique<voip::SoftPhone>(host(node), std::move(config)));
   return *phones_.back();
@@ -78,6 +84,7 @@ bool Testbed::register_and_wait(voip::SoftPhone& phone, Duration max_wait) {
     bool done = false;
     bool ok = false;
   };
+  SimContext::Bind bind(sim_->ctx());
   auto outcome = std::make_shared<Outcome>();
   // Wrap (not replace) the application's handlers; restore them after.
   const voip::SoftPhoneEvents saved = phone.events();
@@ -106,6 +113,7 @@ Testbed::CallResult Testbed::call_and_wait(voip::SoftPhone& caller,
     bool established = false;
     int status = 0;
   };
+  SimContext::Bind bind(sim_->ctx());
   auto outcome = std::make_shared<Outcome>();
   const voip::SoftPhoneEvents saved = caller.events();
   voip::SoftPhoneEvents events = saved;
@@ -138,6 +146,7 @@ Testbed::CallResult Testbed::call_and_wait(voip::SoftPhone& caller,
 }
 
 void Testbed::make_gateway(std::size_t node) {
+  SimContext::Bind bind(sim_->ctx());
   const net::Address wired{net::kInternetPrefix.value() + 100 +
                            static_cast<std::uint32_t>(node)};
   host(node).attach_wired(*internet_, wired);
@@ -145,6 +154,7 @@ void Testbed::make_gateway(std::size_t node) {
 
 sip::Registrar& Testbed::add_provider(const std::string& domain,
                                       bool require_outbound_proxy) {
+  SimContext::Bind bind(sim_->ctx());
   net::Host& server = add_internet_host("provider-" + domain);
   sip::RegistrarConfig config;
   config.domain = domain;
@@ -175,6 +185,7 @@ std::optional<net::Endpoint> Testbed::provider_outbound_proxy(
 }
 
 net::Host& Testbed::add_internet_host(const std::string& name) {
+  SimContext::Bind bind(sim_->ctx());
   const net::Address address{net::kInternetPrefix.value() +
                              next_internet_octet_++};
   auto host = std::make_unique<net::Host>(

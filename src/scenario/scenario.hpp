@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/context.hpp"
 #include "siphoc/node_stack.hpp"
 #include "sip/outbound_proxy.hpp"
 #include "sip/registrar.hpp"
@@ -23,6 +24,10 @@ enum class Topology { kChain, kGrid, kRandomArea };
 
 struct Options {
   std::uint64_t seed = 42;
+  /// Context the testbed's simulation reports into; null means the global
+  /// default context (legacy singleton behavior). The parallel cell runner
+  /// gives every cell its own.
+  SimContext* context = nullptr;
   std::size_t nodes = 2;
   Topology topology = Topology::kChain;
   double spacing = 100;  // metres between chain/grid neighbors
@@ -44,6 +49,7 @@ class Testbed {
   Testbed& operator=(const Testbed&) = delete;
 
   sim::Simulator& sim() { return *sim_; }
+  SimContext& ctx() { return sim_->ctx(); }
   net::RadioMedium& medium() { return *medium_; }
   net::Internet& internet() { return *internet_; }
   std::size_t size() const { return hosts_.size(); }

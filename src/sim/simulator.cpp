@@ -6,15 +6,18 @@
 
 namespace siphoc::sim {
 
-Simulator::Simulator(std::uint64_t seed)
-    : pool_(std::make_shared<detail::EventPool>()), rng_(seed) {
-  Logging::instance().set_time_source([this] { return now_; });
-  MetricsRegistry::instance().set_time_source([this] { return now_; });
+Simulator::Simulator(std::uint64_t seed, SimContext* context)
+    : ctx_(context != nullptr ? context : &SimContext::global()),
+      pool_(std::make_shared<detail::EventPool>()),
+      rng_(seed) {
+  ctx_->set_root_seed(seed);
+  ctx_->adopt_time_source(this, [this] { return now_; });
 }
 
 Simulator::~Simulator() {
-  Logging::instance().set_time_source(nullptr);
-  MetricsRegistry::instance().set_time_source(nullptr);
+  // Owner-tagged release: if a later simulator adopted the same context's
+  // time source, a dying earlier one must not clobber it.
+  ctx_->release_time_source(this);
 }
 
 EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
@@ -54,12 +57,16 @@ bool Simulator::step(TimePoint limit) {
 }
 
 void Simulator::run_until(TimePoint until) {
+  // Bind our context for the duration of the run loop so leaf code
+  // (Logger, default ScopedSpan) resolving via current() lands here.
+  SimContext::Bind bind(*ctx_);
   while (step(until)) {
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_to_completion() {
+  SimContext::Bind bind(*ctx_);
   while (step(TimePoint::max())) {
   }
 }

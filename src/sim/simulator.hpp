@@ -21,6 +21,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/context.hpp"
 #include "common/logging.hpp"
 #include "common/random.hpp"
 #include "common/time.hpp"
@@ -106,7 +107,11 @@ class EventHandle {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1);
+  /// `context` is the SimContext this simulation reports into (metrics,
+  /// logging, time source); null means the process-default global context,
+  /// which preserves the historical singleton behavior for single-sim
+  /// entry points. The simulator does not own the context.
+  explicit Simulator(std::uint64_t seed = 1, SimContext* context = nullptr);
   ~Simulator();
 
   Simulator(const Simulator&) = delete;
@@ -114,6 +119,7 @@ class Simulator {
 
   TimePoint now() const { return now_; }
   Rng& rng() { return rng_; }
+  SimContext& ctx() { return *ctx_; }
 
   /// Schedules `fn` to run `delay` from now. Returns a cancellation handle.
   EventHandle schedule(Duration delay, std::function<void()> fn);
@@ -152,6 +158,7 @@ class Simulator {
 
   bool step(TimePoint limit);
 
+  SimContext* ctx_;
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;

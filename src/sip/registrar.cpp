@@ -10,8 +10,9 @@ namespace siphoc::sip {
 
 namespace {
 
-Counter& reg_counter(const std::string& name, const std::string& domain) {
-  return MetricsRegistry::instance().counter(name, domain, "registrar");
+Counter& reg_counter(MetricsRegistry& registry, const std::string& name,
+                     const std::string& domain) {
+  return registry.counter(name, domain, "registrar");
 }
 
 }  // namespace
@@ -52,7 +53,9 @@ void Registrar::on_message(Message message, net::Endpoint from) {
     log_.info("rejecting ", message.summary(), " from ",
               from.address.to_string(), ": not via our outbound proxy");
     ++stats_.registers_rejected;
-    reg_counter("registrar.registers_rejected_total", config_.domain).add();
+    reg_counter(host_.sim().ctx().metrics(),
+                "registrar.registers_rejected_total", config_.domain)
+        .add();
     if (message.method() != kAck) respond(message, 403, from);
     return;
   }
@@ -109,7 +112,9 @@ bool Registrar::check_authorization(const Message& request,
   if (cred == config_.credentials.end() ||
       !verify_authorization(*auth, cred->second, request.method())) {
     ++stats_.registers_rejected;
-    reg_counter("registrar.registers_rejected_total", config_.domain).add();
+    reg_counter(host_.sim().ctx().metrics(),
+                "registrar.registers_rejected_total", config_.domain)
+        .add();
     log_.info("bad credentials for '", auth->username, "'");
     respond(request, 403, from);
     return false;
@@ -135,7 +140,7 @@ void Registrar::handle_register(Message request, net::Endpoint from) {
   const auto contact = request.contact();
   if (expires == 0) {
     bindings_.erase(aor);
-    MetricsRegistry::instance()
+    host_.sim().ctx().metrics()
         .gauge("registrar.bindings", config_.domain, "registrar")
         .set(static_cast<double>(bindings_.size()));
     log_.info("unregistered ", aor);
@@ -145,8 +150,10 @@ void Registrar::handle_register(Message request, net::Endpoint from) {
     b.expires = host_.sim().now() + seconds(expires);
     bindings_[aor] = std::move(b);
     ++stats_.registers_accepted;
-    reg_counter("registrar.registers_accepted_total", config_.domain).add();
-    MetricsRegistry::instance()
+    reg_counter(host_.sim().ctx().metrics(),
+                "registrar.registers_accepted_total", config_.domain)
+        .add();
+    host_.sim().ctx().metrics()
         .gauge("registrar.bindings", config_.domain, "registrar")
         .set(static_cast<double>(bindings_.size()));
     log_.info("registered ", aor, " -> ", contact->uri.to_string(),
@@ -185,7 +192,9 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
     const auto b = binding(aor);
     if (!b) {
       ++stats_.requests_failed;
-      reg_counter("registrar.requests_failed_total", config_.domain).add();
+      reg_counter(host_.sim().ctx().metrics(),
+                  "registrar.requests_failed_total", config_.domain)
+          .add();
       log_.info(request.method(), " for ", aor, ": no binding -> 404");
       if (request.method() != kAck) respond(request, 404, from);
       return;
@@ -193,7 +202,9 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
     const auto contact_ep = b->contact.numeric_endpoint();
     if (!contact_ep) {
       ++stats_.requests_failed;
-      reg_counter("registrar.requests_failed_total", config_.domain).add();
+      reg_counter(host_.sim().ctx().metrics(),
+                  "registrar.requests_failed_total", config_.domain)
+          .add();
       if (request.method() != kAck) respond(request, 502, from);
       return;
     }
@@ -208,7 +219,9 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
       std::to_string(host_.rng().uniform_int(0, 0xffffff));
   request.push_via(via);
   ++stats_.requests_forwarded;
-  reg_counter("registrar.requests_forwarded_total", config_.domain).add();
+  reg_counter(host_.sim().ctx().metrics(),
+              "registrar.requests_forwarded_total", config_.domain)
+      .add();
   transport_.send(request, dst);
 }
 

@@ -7,8 +7,9 @@
 namespace siphoc::sip {
 namespace {
 
-Counter& sip_counter(const std::string& name, const std::string& node) {
-  return MetricsRegistry::instance().counter(name, node, "sip");
+Counter& sip_counter(MetricsRegistry& registry, const std::string& name,
+                     const std::string& node) {
+  return registry.counter(name, node, "sip");
 }
 
 // Response-class series name: "sip.responses_rx.2xx" etc.
@@ -42,7 +43,7 @@ ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request,
 
 void ClientTransaction::start() {
   started_ = layer_.sim().now();
-  sip_counter("sip.client_tx." + method_, layer_.node()).add();
+  sip_counter(layer_.metrics(), "sip.client_tx." + method_, layer_.node()).add();
   layer_.transport().send(request_, destination_);
   retransmit_interval_ = layer_.timers().t1;
   retransmit_timer_ = layer_.sim().schedule(retransmit_interval_,
@@ -56,7 +57,7 @@ void ClientTransaction::retransmit() {
       !(state_ == State::kProceeding && !is_invite())) {
     return;
   }
-  sip_counter("sip.retransmits_total", layer_.node()).add();
+  sip_counter(layer_.metrics(), "sip.retransmits_total", layer_.node()).add();
   layer_.transport().send(request_, destination_);
   // Timer A doubles unbounded; Timer E doubles capped at T2 (RFC 17.1.2.1).
   retransmit_interval_ = retransmit_interval_ * 2;
@@ -69,7 +70,7 @@ void ClientTransaction::retransmit() {
 
 void ClientTransaction::on_timeout() {
   if (state_ == State::kCompleted || state_ == State::kTerminated) return;
-  sip_counter("sip.tx_timeouts_total", layer_.node()).add();
+  sip_counter(layer_.metrics(), "sip.tx_timeouts_total", layer_.node()).add();
   cancel_timers();
   state_ = State::kTerminated;
   if (callback_) callback_(std::nullopt);
@@ -82,17 +83,17 @@ void ClientTransaction::on_response(const Message& response) {
     case State::kCalling:
     case State::kTrying:
     case State::kProceeding: {
-      sip_counter(class_name("rx", status), layer_.node()).add();
+      sip_counter(layer_.metrics(), class_name("rx", status), layer_.node()).add();
       if (status >= 200 && is_invite()) {
         // Final answer to our INVITE: the request->final-response interval
         // is the paper's call-setup building block.
-        MetricsRegistry::instance().histogram("sip.invite_rtt_ms",
-                                              kLatencyBucketsMs,
-                                              layer_.node(), "sip")
+        layer_.metrics()
+            .histogram("sip.invite_rtt_ms", kLatencyBucketsMs, layer_.node(),
+                       "sip")
             .observe(to_millis(layer_.sim().now() - started_));
-        MetricsRegistry::instance().record_span("invite_transaction", "sip",
-                                                layer_.node(), started_,
-                                                layer_.sim().now());
+        layer_.metrics().record_span("invite_transaction", "sip",
+                                     layer_.node(), started_,
+                                     layer_.sim().now());
       }
       if (status < 200) {
         state_ = State::kProceeding;
@@ -180,7 +181,7 @@ void ServerTransaction::respond(int status, std::string reason) {
 }
 
 void ServerTransaction::respond(Message response) {
-  sip_counter(class_name("tx", response.status()), layer_.node()).add();
+  sip_counter(layer_.metrics(), class_name("tx", response.status()), layer_.node()).add();
   last_response_ = std::move(response);
   if (!layer_.transport().send_response(*last_response_)) {
     // Unroutable Via (e.g. symbolic host with no received param): fall back
@@ -209,7 +210,7 @@ void ServerTransaction::respond(Message response) {
 
 void ServerTransaction::retransmit_final() {
   if (state_ != State::kCompleted || !last_response_) return;
-  sip_counter("sip.retransmits_total", layer_.node()).add();
+  sip_counter(layer_.metrics(), "sip.retransmits_total", layer_.node()).add();
   if (!layer_.transport().send_response(*last_response_)) {
     layer_.transport().send(*last_response_, peer_);
   }
@@ -339,7 +340,7 @@ void TransactionLayer::dispatch_request(Message request, net::Endpoint from) {
 
   auto txn = std::shared_ptr<ServerTransaction>(
       new ServerTransaction(*this, std::move(request), from));
-  sip_counter("sip.server_tx." + txn->method_, node_).add();
+  sip_counter(metrics(), "sip.server_tx." + txn->method_, node_).add();
   servers_[key] = txn;
   if (request_handler_) {
     request_handler_(txn, txn->request_);

@@ -156,6 +156,7 @@ class TransactionLayer {
 
   Transport& transport() { return transport_; }
   sim::Simulator& sim() { return transport_.host().sim(); }
+  MetricsRegistry& metrics() { return sim().ctx().metrics(); }
   const TimerConfig& timers() const { return timers_; }
   const std::string& via_host() const { return via_host_; }
   std::uint16_t via_port() const { return via_port_; }

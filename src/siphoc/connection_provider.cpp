@@ -19,7 +19,7 @@ ConnectionProvider::ConnectionProvider(net::Host& host,
         } else {
           log_.info("detached from the Internet");
           // The next successful reattach is a failover from this loss.
-          MetricsRegistry::instance()
+          host_.sim().ctx().metrics()
               .counter("connprov.tunnel_losses_total", host_.name(),
                        "connprov")
               .add();
@@ -27,7 +27,7 @@ ConnectionProvider::ConnectionProvider(net::Host& host,
         }
         if (connected && failover_pending_) {
           failover_pending_ = false;
-          MetricsRegistry::instance()
+          host_.sim().ctx().metrics()
               .counter("connprov.failovers_total", host_.name(), "connprov")
               .add();
         }
@@ -74,7 +74,7 @@ void ConnectionProvider::tick() {
   }
   lookup_in_flight_ = true;
   ++discoveries_;
-  MetricsRegistry::instance()
+  host_.sim().ctx().metrics()
       .counter("connprov.gateway_discoveries_total", host_.name(), "connprov")
       .add();
   directory_.lookup(

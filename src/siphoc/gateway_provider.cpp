@@ -47,7 +47,7 @@ void GatewayProvider::tick() {
   // our tunnel server. The key is this gateway's own address so multiple
   // gateways coexist in every cache (clients find any via wildcard lookup).
   const net::Endpoint ep{host_.manet_address(), net::kTunnelPort};
-  MetricsRegistry::instance()
+  host_.sim().ctx().metrics()
       .counter("gateway.advertisements_total", host_.name(), "gateway")
       .add();
   directory_.register_service(std::string(slp::kGatewayService),

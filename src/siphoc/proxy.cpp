@@ -11,8 +11,8 @@ using sip::Message;
 
 namespace {
 
-Counter& proxy_counter(const std::string& name, const std::string& node) {
-  return MetricsRegistry::instance().counter(name, node, "proxy");
+Counter& proxy_counter(net::Host& host, const std::string& name) {
+  return host.sim().ctx().metrics().counter(name, host.name(), "proxy");
 }
 
 }  // namespace
@@ -127,7 +127,7 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
     b.expires = host_.sim().now() + seconds(expires);
     bindings_[user] = std::move(b);
     ++stats_.registrations;
-    proxy_counter("proxy.registrations_total", host_.name()).add();
+    proxy_counter(host_, "proxy.registrations_total").add();
 
     // Step 2: advertise *this proxy's* MANET endpoint as the responsible
     // contact for the user -- the Figure 4 state.
@@ -148,7 +148,7 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
     if (const auto provider = resolve_provider(to->uri.host)) {
       Message upstream = request;
       ++stats_.upstream_registers;
-      proxy_counter("proxy.upstream_registers_total", host_.name()).add();
+      proxy_counter(host_, "proxy.upstream_registers_total").add();
       forward_request(std::move(upstream), *provider);
       return;
     }
@@ -198,7 +198,7 @@ void SiphocProxy::route_request(Message request, net::Endpoint from) {
     }
     if (addressed_to_us) {
       ++stats_.not_found;
-    proxy_counter("proxy.not_found_total", host_.name()).add();
+    proxy_counter(host_, "proxy.not_found_total").add();
       respond_error(request, 404, from);
       return;
     }
@@ -214,7 +214,7 @@ void SiphocProxy::route_request(Message request, net::Endpoint from) {
   const std::string aor = uri.aor();
   const std::string domain = uri.host;
   ++stats_.slp_lookups;
-  proxy_counter("proxy.slp_lookups_total", host_.name()).add();
+  proxy_counter(host_, "proxy.slp_lookups_total").add();
   log_.info("resolving ", aor, " via MANET SLP");
   directory_.lookup(
       std::string(slp::kSipContactService), aor, config_.slp_lookup_timeout,
@@ -224,7 +224,7 @@ void SiphocProxy::route_request(Message request, net::Endpoint from) {
           const auto ep = net::Endpoint::parse(entry->value);
           if (ep) {
             ++stats_.slp_hits;
-            proxy_counter("proxy.slp_hits_total", host_.name()).add();
+            proxy_counter(host_, "proxy.slp_hits_total").add();
             log_.info("SLP resolved ", request.request_uri().aor(), " -> ",
                       ep->to_string());
             forward_request(std::move(request), *ep);
@@ -242,7 +242,7 @@ void SiphocProxy::forward_via_internet(Message request,
   const net::Address inet = current_internet_address();
   if (inet.is_unspecified()) {
     ++stats_.not_found;
-    proxy_counter("proxy.not_found_total", host_.name()).add();
+    proxy_counter(host_, "proxy.not_found_total").add();
     log_.info("cannot resolve ", request.request_uri().aor(),
               ": not in MANET, no Internet connectivity");
     respond_error(request, 404, from);
@@ -253,19 +253,19 @@ void SiphocProxy::forward_via_internet(Message request,
   const auto provider = resolve_provider(domain);
   if (!provider) {
     ++stats_.not_found;
-    proxy_counter("proxy.not_found_total", host_.name()).add();
+    proxy_counter(host_, "proxy.not_found_total").add();
     log_.info("cannot resolve provider domain '", domain, "'");
     respond_error(request, 404, from);
     return;
   }
   ++stats_.internet_forwards;
-  proxy_counter("proxy.internet_forwards_total", host_.name()).add();
+  proxy_counter(host_, "proxy.internet_forwards_total").add();
   forward_request(std::move(request), *provider);
 }
 
 void SiphocProxy::deliver_to_local(Message request, const Binding& binding) {
   ++stats_.delivered_local;
-  proxy_counter("proxy.delivered_local_total", host_.name()).add();
+  proxy_counter(host_, "proxy.delivered_local_total").add();
   sip::Via via;
   via.host = net::kLoopbackAddress.to_string();
   via.port = config_.port;
@@ -288,7 +288,7 @@ void SiphocProxy::forward_request(Message request, net::Endpoint dst) {
       std::to_string(++branch_counter_);
   request.push_via(via);
   ++stats_.requests_forwarded;
-  proxy_counter("proxy.requests_forwarded_total", host_.name()).add();
+  proxy_counter(host_, "proxy.requests_forwarded_total").add();
   transport_.send(request, dst);
 }
 

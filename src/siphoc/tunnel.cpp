@@ -8,8 +8,8 @@ using tunnel::MsgType;
 
 namespace {
 
-Counter& tun_counter(const std::string& name, const std::string& node) {
-  return MetricsRegistry::instance().counter(name, node, "tunnel");
+Counter& tun_counter(net::Host& host, const std::string& name) {
+  return host.sim().ctx().metrics().counter(name, host.name(), "tunnel");
 }
 
 }  // namespace
@@ -80,8 +80,8 @@ void TunnelServer::on_packet(const net::Datagram& d) {
         });
         log_.info("client ", d.src.to_string(), " attached as ",
                   assigned.to_string());
-        tun_counter("tunnel.clients_attached_total", host_.name()).add();
-        MetricsRegistry::instance()
+        tun_counter(host_, "tunnel.clients_attached_total").add();
+        host_.sim().ctx().metrics()
             .gauge("tunnel.clients", host_.name(), "tunnel")
             .set(static_cast<double>(clients_.size()));
       }
@@ -106,8 +106,8 @@ void TunnelServer::on_packet(const net::Datagram& d) {
       it->second.last_seen = host_.sim().now();
       ++stats_.datagrams_to_internet;
       stats_.bytes_relayed += inner->wire_size();
-      tun_counter("tunnel.datagrams_up_total", host_.name()).add();
-      tun_counter("tunnel.bytes_relayed_total", host_.name())
+      tun_counter(host_, "tunnel.datagrams_up_total").add();
+      tun_counter(host_, "tunnel.bytes_relayed_total")
           .add(inner->wire_size());
       if (host_.internet() != nullptr) host_.internet()->send(*inner);
       break;
@@ -130,7 +130,7 @@ void TunnelServer::on_packet(const net::Datagram& d) {
           if (host_.internet() != nullptr) host_.internet()->detach(it->first);
           log_.info("client ", it->first.to_string(), " disconnected");
           it = clients_.erase(it);
-          MetricsRegistry::instance()
+          host_.sim().ctx().metrics()
               .gauge("tunnel.clients", host_.name(), "tunnel")
               .set(static_cast<double>(clients_.size()));
         } else {
@@ -152,8 +152,8 @@ void TunnelServer::relay_to_client(const Client& client,
   w.raw(inner.encode());
   ++stats_.datagrams_to_clients;
   stats_.bytes_relayed += inner.wire_size();
-  tun_counter("tunnel.datagrams_down_total", host_.name()).add();
-  tun_counter("tunnel.bytes_relayed_total", host_.name())
+  tun_counter(host_, "tunnel.datagrams_down_total").add();
+  tun_counter(host_, "tunnel.bytes_relayed_total")
       .add(inner.wire_size());
   host_.send_udp(net::kTunnelPort, client.manet_endpoint, std::move(wire));
 }
@@ -165,8 +165,8 @@ void TunnelServer::expire_clients() {
       if (host_.internet() != nullptr) host_.internet()->detach(it->first);
       log_.info("client ", it->first.to_string(), " expired");
       it = clients_.erase(it);
-      tun_counter("tunnel.clients_expired_total", host_.name()).add();
-      MetricsRegistry::instance()
+      tun_counter(host_, "tunnel.clients_expired_total").add();
+      host_.sim().ctx().metrics()
           .gauge("tunnel.clients", host_.name(), "tunnel")
           .set(static_cast<double>(clients_.size()));
     } else {
@@ -229,14 +229,14 @@ void TunnelClient::on_packet(const net::Datagram& d) {
       tunnel_address_ = net::Address{*assigned};
       log_.info("tunnel up, address ", tunnel_address_.to_string(), " via ",
                 gateway_.to_string());
-      tun_counter("tunnel.connects_total", host_.name()).add();
-      MetricsRegistry::instance()
+      tun_counter(host_, "tunnel.connects_total").add();
+      host_.sim().ctx().metrics()
           .histogram("tunnel.connect_ms", kLatencyBucketsMs, host_.name(),
                      "tunnel")
           .observe(to_millis(host_.sim().now() - connect_started_));
-      MetricsRegistry::instance().record_span("tunnel_connect", "tunnel",
-                                              host_.name(), connect_started_,
-                                              host_.sim().now());
+      host_.sim().ctx().metrics().record_span(
+          "tunnel_connect", "tunnel", host_.name(), connect_started_,
+          host_.sim().now());
 
       host_.attach_tunnel(tunnel_address_, [this](net::Datagram inner) {
         encapsulate(std::move(inner));
@@ -257,7 +257,7 @@ void TunnelClient::on_packet(const net::Datagram& d) {
       if (!inner_bytes) return;
       auto inner = net::Datagram::decode(*inner_bytes);
       if (!inner) return;
-      tun_counter("tunnel.bytes_rx_total", host_.name())
+      tun_counter(host_, "tunnel.bytes_rx_total")
           .add(inner->wire_size());
       host_.inject(std::move(*inner), net::Interface::kTunnel);
       break;
@@ -272,7 +272,7 @@ void TunnelClient::on_packet(const net::Datagram& d) {
 }
 
 void TunnelClient::encapsulate(net::Datagram inner) {
-  tun_counter("tunnel.bytes_tx_total", host_.name()).add(inner.wire_size());
+  tun_counter(host_, "tunnel.bytes_tx_total").add(inner.wire_size());
   Bytes wire;
   BufferWriter w(wire);
   w.u8(static_cast<std::uint8_t>(MsgType::kData));
@@ -282,7 +282,7 @@ void TunnelClient::encapsulate(net::Datagram inner) {
 
 void TunnelClient::send_keepalive() {
   if (++missed_keepalives_ > tunnel::kMaxMissedKeepalives) {
-    tun_counter("tunnel.keepalive_timeouts_total", host_.name()).add();
+    tun_counter(host_, "tunnel.keepalive_timeouts_total").add();
     log_.info("gateway ", gateway_.to_string(), " unreachable, tunnel down");
     teardown(true);
     return;
@@ -303,7 +303,7 @@ void TunnelClient::teardown(bool notify) {
   host_.detach_tunnel();  // also clears the tunnel routes
   tunnel_address_ = net::Address{};
   if (was_connected) {
-    tun_counter("tunnel.disconnects_total", host_.name()).add();
+    tun_counter(host_, "tunnel.disconnects_total").add();
   }
   if (notify && on_state_ && was_connected) on_state_(false, net::Address{});
 }

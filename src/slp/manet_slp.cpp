@@ -4,25 +4,19 @@
 
 namespace siphoc::slp {
 
-ManetSlp::Metrics::Metrics(std::string_view node)
-    : lookups(MetricsRegistry::instance().counter("slp.lookups_total", node,
-                                                  "slp")),
-      cache_hits(MetricsRegistry::instance().counter("slp.cache_hits_total",
-                                                     node, "slp")),
-      remote_resolves(MetricsRegistry::instance().counter(
-          "slp.remote_resolves_total", node, "slp")),
-      lookup_timeouts(MetricsRegistry::instance().counter(
-          "slp.lookup_timeouts_total", node, "slp")),
-      adverts_piggybacked(MetricsRegistry::instance().counter(
-          "slp.adverts_piggybacked_total", node, "slp")),
-      queries_answered(MetricsRegistry::instance().counter(
-          "slp.queries_answered_total", node, "slp")),
-      entries_absorbed(MetricsRegistry::instance().counter(
-          "slp.entries_absorbed_total", node, "slp")),
-      cache_entries(MetricsRegistry::instance().gauge("slp.cache_entries",
-                                                      node, "slp")),
-      resolve_ms(MetricsRegistry::instance().histogram(
-          "slp.resolve_ms", kLatencyBucketsMs, node, "slp")) {}
+ManetSlp::Metrics::Metrics(MetricsRegistry& r, std::string_view node)
+    : registry(&r),
+      lookups(r.counter("slp.lookups_total", node, "slp")),
+      cache_hits(r.counter("slp.cache_hits_total", node, "slp")),
+      remote_resolves(r.counter("slp.remote_resolves_total", node, "slp")),
+      lookup_timeouts(r.counter("slp.lookup_timeouts_total", node, "slp")),
+      adverts_piggybacked(
+          r.counter("slp.adverts_piggybacked_total", node, "slp")),
+      queries_answered(r.counter("slp.queries_answered_total", node, "slp")),
+      entries_absorbed(r.counter("slp.entries_absorbed_total", node, "slp")),
+      cache_entries(r.gauge("slp.cache_entries", node, "slp")),
+      resolve_ms(
+          r.histogram("slp.resolve_ms", kLatencyBucketsMs, node, "slp")) {}
 
 ManetSlp::ManetSlp(net::Host& host, routing::Protocol& protocol,
                    ManetSlpConfig config)
@@ -30,7 +24,7 @@ ManetSlp::ManetSlp(net::Host& host, routing::Protocol& protocol,
       protocol_(protocol),
       config_(config),
       log_("slp", host.name()),
-      metrics_(host.name()) {
+      metrics_(host.sim().ctx().metrics(), host.name()) {
   protocol_.set_handler(this);
 }
 
@@ -68,8 +62,8 @@ void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
   if (auto hit = find_match(type, key)) {
     ++stats_.hits_local;
     metrics_.cache_hits.add();
-    MetricsRegistry::instance().record_span("slp_resolve", "slp",
-                                            host_.name(), now(), now());
+    metrics_.registry->record_span("slp_resolve", "slp", host_.name(), now(),
+                                   now());
     metrics_.resolve_ms.observe(0);
     // Resolve asynchronously: callers must not observe reentrant callbacks.
     host_.sim().schedule(microseconds(1),
@@ -245,8 +239,8 @@ void ManetSlp::resolve_pending(const ServiceEntry& entry) {
       ++stats_.hits_remote;
       metrics_.remote_resolves.add();
       metrics_.resolve_ms.observe(to_millis(now() - started));
-      MetricsRegistry::instance().record_span("slp_resolve", "slp",
-                                              host_.name(), started, now());
+      metrics_.registry->record_span("slp_resolve", "slp", host_.name(),
+                                     started, now());
       cb(entry);
     } else {
       ++it;

@@ -107,7 +107,8 @@ class ManetSlp final : public Directory, public routing::RoutingHandler {
   };
 
   struct Metrics {
-    explicit Metrics(std::string_view node);
+    Metrics(MetricsRegistry& registry, std::string_view node);
+    MetricsRegistry* registry;  // the simulation's registry (spans)
     Counter& lookups;
     Counter& cache_hits;
     Counter& remote_resolves;

@@ -245,6 +245,29 @@ int run_sidecar_mode(const fs::path& json_path, const fs::path& doc_path) {
     }
   }
 
+  // Merged-parallel sidecars (bench --threads / scenario_runner --sweep)
+  // additionally carry "merged_cells": the number of per-simulation
+  // registries folded into the export. Optional, but when present it must
+  // be a positive integer.
+  const std::string merged_key = "\"merged_cells\":";
+  if (const std::size_t at = json.find(merged_key); at != std::string::npos) {
+    std::size_t pos = at + merged_key.size();
+    while (pos < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[pos])) != 0) {
+      ++pos;
+    }
+    std::size_t digits = 0;
+    while (pos + digits < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[pos + digits])) != 0) {
+      ++digits;
+    }
+    if (digits == 0 || (digits == 1 && json[pos] == '0')) {
+      std::fprintf(stderr,
+                   "sidecar \"merged_cells\" must be a positive integer\n");
+      ++bad;
+    }
+  }
+
   const auto names = sidecar_names(json);
   if (names.empty()) {
     std::fprintf(stderr, "sidecar contains no named series at all\n");
