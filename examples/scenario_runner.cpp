@@ -18,6 +18,15 @@
 //                        all cells ("merged_cells": K).
 //   --threads T          worker threads for --sweep (default 1); output is
 //                        byte-identical for every T
+//   --faults FILE        apply a FaultPlan file (docs/RESILIENCE.md format)
+//                        to the scripted scenario; recovery invariants are
+//                        monitored and violations fail the run
+//   --chaos seed=N duration=D
+//                        ignore the script: run the built-in chaos soak --
+//                        a 6-node MANET with two gateways and a call
+//                        workload under a fault plan generated from seed N
+//                        (byte-reproducible; non-zero exit on any invariant
+//                        violation or corrupted-frame acceptance)
 //
 // Script commands (one per line; '#' starts a comment):
 //   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
@@ -42,6 +51,8 @@
 #include "common/context.hpp"
 #include "common/metrics.hpp"
 #include "common/strings.hpp"
+#include "scenario/faults.hpp"
+#include "scenario/invariants.hpp"
 #include "scenario/parallel.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/trace.hpp"
@@ -70,6 +81,11 @@ wait 1
 struct Runner {
   std::unique_ptr<scenario::Testbed> bed;
   std::unique_ptr<scenario::TraceRecorder> trace;
+  // Declared after `bed` so they are destroyed first (the engine unhooks
+  // the medium's link filter in its destructor).
+  std::unique_ptr<scenario::FaultEngine> engine;
+  std::unique_ptr<scenario::InvariantMonitor> monitor;
+  const scenario::FaultPlan* fault_plan = nullptr;
   bool trace_live = false;
   std::map<std::string, voip::SoftPhone*> phones;
   std::map<std::string, sip::CallId> last_call;
@@ -127,11 +143,22 @@ struct Runner {
                    : topo == "random" ? scenario::Topology::kRandomArea
                                       : scenario::Topology::kChain;
       o.routing = routing == "olsr" ? RoutingKind::kOlsr : RoutingKind::kAodv;
+      monitor.reset();
+      engine.reset();
       bed = std::make_unique<scenario::Testbed>(o);
       trace = std::make_unique<scenario::TraceRecorder>(bed->medium());
       bed->start();
       std::fprintf(out, "  %zu nodes, %s, %s routing\n", n, topo.c_str(),
                    routing.c_str());
+      if (fault_plan) {
+        engine = std::make_unique<scenario::FaultEngine>(*bed);
+        monitor =
+            std::make_unique<scenario::InvariantMonitor>(*bed, engine.get());
+        engine->apply(*fault_plan);
+        monitor->start(seconds(1));
+        std::fprintf(out, "  fault plan armed: %zu event(s)\n",
+                     fault_plan->events.size());
+      }
     } else if (cmd == "gateway") {
       ensure_bed();
       std::size_t node = 0;
@@ -237,7 +264,123 @@ struct Runner {
       fail("unknown command '" + cmd + "'");
     }
   }
+
+  /// Final fault accounting: one last invariant sweep, the engine's
+  /// narration, and violations counted as errors.
+  void finish() {
+    if (!monitor) return;
+    monitor->stop();
+    monitor->check();
+    for (const auto& line : engine->narration()) {
+      std::fprintf(out, "  %s\n", line.c_str());
+    }
+    std::fprintf(out, "%s", monitor->report().to_string().c_str());
+    errors += static_cast<int>(monitor->report().violations.size());
+  }
 };
+
+/// The --chaos soak: a six-node chain with gateways at both ends, a call
+/// workload between two protected nodes, and a seed-derived fault plan
+/// tormenting everything else. All output is virtual-time only, so a given
+/// seed reproduces byte for byte.
+int run_chaos(std::uint64_t seed, double duration_s,
+              const std::string& metrics_path,
+              const std::string& metrics_csv_path) {
+  using scenario::FaultEngine;
+  using scenario::FaultPlan;
+  using scenario::InvariantMonitor;
+  const auto duration = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(duration_s));
+  std::printf("== chaos soak: seed %llu, %.0f s of faults ==\n",
+              static_cast<unsigned long long>(seed), duration_s);
+
+  scenario::Options o;
+  o.seed = seed;
+  o.nodes = 6;
+  o.topology = scenario::Topology::kChain;
+  o.spacing = 80;
+  scenario::Testbed bed(o);
+  bed.make_gateway(0);
+  bed.make_gateway(5);
+  bed.start();
+  auto& alice = bed.add_phone(1, "alice");
+  auto& bob = bed.add_phone(4, "bob");
+  bed.settle(seconds(5));
+  bed.register_and_wait(alice);
+  bed.register_and_wait(bob);
+
+  // Nodes 1 and 4 carry the phones and stay up; everything else is fair
+  // game for the plan.
+  const FaultPlan plan = FaultPlan::generate(seed, duration, o.nodes, {1, 4});
+  std::printf("-- fault plan (reproduce with the same seed) --\n%s",
+              plan.to_string().c_str());
+
+  FaultEngine engine(bed);
+  InvariantMonitor monitor(bed, &engine);
+  engine.apply(plan);
+  monitor.start(seconds(1));
+
+  std::size_t attempts = 0;
+  std::size_t established = 0;
+  const TimePoint end = bed.sim().now() + duration;
+  while (bed.sim().now() < end) {
+    ++attempts;
+    const auto result = bed.call_and_wait(alice, "bob@voicehoc.ch",
+                                          seconds(8));
+    if (result.established) {
+      ++established;
+      bed.run_for(seconds(3));
+      alice.hang_up(result.call);
+    }
+    bed.run_for(seconds(2));
+  }
+
+  // The generated plan always restores the network; give the stacks quiet
+  // air to recover in, then demand they actually did.
+  bed.run_for(seconds(45));
+  monitor.stop();
+  monitor.check();
+
+  std::printf("-- applied faults --\n");
+  for (const auto& line : engine.narration()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  const auto& ms = bed.medium().stats();
+  std::printf(
+      "workload: %zu call attempts, %zu established (failures during fault "
+      "epochs are expected)\n",
+      attempts, established);
+  std::printf(
+      "injected: %llu corrupted, %llu duplicated, %llu reordered frames\n",
+      static_cast<unsigned long long>(ms.frames_corrupted),
+      static_cast<unsigned long long>(ms.frames_duplicated),
+      static_cast<unsigned long long>(ms.frames_reordered));
+
+  int failures = static_cast<int>(monitor.report().violations.size());
+  const auto accepted =
+      bed.ctx().metrics().counter_total("chaos.corrupt_accepted_total");
+  if (accepted > 0) {
+    std::printf(
+        "!! %llu corrupted frame(s) decoded successfully -- codec "
+        "hardening breach\n",
+        static_cast<unsigned long long>(accepted));
+    ++failures;
+  }
+  std::printf("%s", monitor.report().to_string().c_str());
+
+  auto& registry = bed.ctx().metrics();
+  if (!metrics_path.empty() &&
+      !MetricsRegistry::write_file(metrics_path, registry.to_json())) {
+    ++failures;
+  }
+  if (!metrics_csv_path.empty() &&
+      !MetricsRegistry::write_file(metrics_csv_path, registry.to_csv())) {
+    ++failures;
+  }
+
+  std::printf("\nchaos soak finished with %d failure(s).\n", failures);
+  return failures == 0 ? 0 : 1;
+}
 
 }  // namespace
 
@@ -245,14 +388,40 @@ int main(int argc, char** argv) {
   std::string script_path;
   std::string metrics_path;
   std::string metrics_csv_path;
+  std::string faults_path;
   std::size_t sweep_seeds = 0;
   unsigned threads = 1;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  double chaos_duration = 120.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (arg == "--metrics-csv" && i + 1 < argc) {
       metrics_csv_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
+    } else if (arg == "--chaos") {
+      chaos = true;
+      // Consume trailing key=value tokens: seed=N duration=D.
+      while (i + 1 < argc && std::string(argv[i + 1]).find('=') !=
+                                 std::string::npos) {
+        const std::string spec = argv[++i];
+        if (spec.rfind("seed=", 0) == 0) {
+          chaos_seed = std::strtoull(spec.c_str() + 5, nullptr, 10);
+        } else if (spec.rfind("duration=", 0) == 0) {
+          chaos_duration = std::strtod(spec.c_str() + 9, nullptr);
+        } else {
+          std::fprintf(stderr, "--chaos: unknown parameter %s\n",
+                       spec.c_str());
+          return 2;
+        }
+      }
+      if (chaos_duration <= 0) {
+        std::fprintf(stderr, "--chaos: duration must be positive\n");
+        return 2;
+      }
     } else if (arg == "--sweep" && i + 1 < argc) {
       std::string spec = argv[++i];
       if (spec.rfind("seeds=", 0) == 0) spec = spec.substr(6);
@@ -271,6 +440,31 @@ int main(int argc, char** argv) {
     } else {
       script_path = arg;
     }
+  }
+
+  if (chaos) {
+    return run_chaos(chaos_seed, chaos_duration, metrics_path,
+                     metrics_csv_path);
+  }
+
+  scenario::FaultPlan fault_plan;
+  bool have_faults = false;
+  if (!faults_path.empty()) {
+    std::ifstream file(faults_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", faults_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << file.rdbuf();
+    auto parsed = scenario::FaultPlan::parse(ss.str());
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", faults_path.c_str(),
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    fault_plan = std::move(*parsed);
+    have_faults = true;
   }
 
   std::string script;
@@ -293,9 +487,11 @@ int main(int argc, char** argv) {
     // Single run, exactly as before the sweep mode existed: simulate in the
     // process-global context and export its registry.
     Runner runner;
+    if (have_faults) runner.fault_plan = &fault_plan;
     for (const auto& line : split(script, '\n')) {
       runner.run_line(line);
     }
+    runner.finish();
 
     auto& registry = MetricsRegistry::instance();
     if (!metrics_path.empty()) {
@@ -326,7 +522,8 @@ int main(int argc, char** argv) {
   std::vector<scenario::Cell> cells;
   cells.reserve(sweep_seeds);
   for (std::size_t k = 0; k < sweep_seeds; ++k) {
-    cells.push_back({0, [k, &results, &script](SimContext& ctx) {
+    cells.push_back({0, [k, &results, &script, &fault_plan,
+                         have_faults](SimContext& ctx) {
                        char* buf = nullptr;
                        std::size_t len = 0;
                        FILE* f = open_memstream(&buf, &len);
@@ -336,9 +533,11 @@ int main(int argc, char** argv) {
                          runner.ctx = &ctx;
                          runner.sweep = true;
                          runner.cell_index = k;
+                         if (have_faults) runner.fault_plan = &fault_plan;
                          for (const auto& line : split(script, '\n')) {
                            runner.run_line(line);
                          }
+                         runner.finish();
                          results[k].errors = runner.errors;
                          results[k].seed = runner.effective_seed;
                        }

@@ -1,9 +1,29 @@
 #include "common/bytes.hpp"
 
+#include <array>
 #include <cctype>
 #include <cstdio>
 
 namespace siphoc {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
 
 Bytes to_bytes(std::string_view text) {
   return Bytes(text.begin(), text.end());

@@ -166,6 +166,12 @@ class BufferReader {
   std::size_t pos_ = 0;
 };
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected). The binary codecs append it
+/// as an integrity trailer so frames mangled by the chaos engine's
+/// bit-corruption injector are rejected at decode instead of poisoning
+/// routing tables or SLP caches (see docs/RESILIENCE.md).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
 /// Converts ASCII text to bytes (SIP messages travel as text over UDP).
 Bytes to_bytes(std::string_view text);
 

@@ -150,7 +150,7 @@ std::optional<RouteEntry> Host::lookup_route(Address dst) const {
 void Host::on_radio_frame(const Frame& frame) {
   const Datagram& d = frame.datagram;
   if (d.dst.is_broadcast() || owns_address(d.dst)) {
-    RxInfo info{Interface::kRadio, frame.src_mac};
+    RxInfo info{Interface::kRadio, frame.src_mac, d.corrupted};
     deliver_local(d, info);
     return;
   }
@@ -173,7 +173,7 @@ void Host::route_and_send(Datagram d) {
     // Defer delivery so callers finish their own processing first (matches
     // kernel loopback semantics and avoids reentrancy in the SIP stack).
     sim_.schedule(microseconds(10), [this, d = std::move(d)] {
-      deliver_local(d, RxInfo{Interface::kLoopback, id_});
+      deliver_local(d, RxInfo{Interface::kLoopback, id_, d.corrupted});
     });
     return;
   }
@@ -215,7 +215,7 @@ void Host::route_and_send(Datagram d) {
     }
     case Interface::kLoopback: {
       sim_.schedule(microseconds(10), [this, d = std::move(d)] {
-        deliver_local(d, RxInfo{Interface::kLoopback, id_});
+        deliver_local(d, RxInfo{Interface::kLoopback, id_, d.corrupted});
       });
       break;
     }
@@ -245,7 +245,7 @@ void Host::deliver_local(const Datagram& d, const RxInfo& info) {
 
 void Host::inject(Datagram d, Interface iface) {
   if (d.dst.is_broadcast() || owns_address(d.dst)) {
-    deliver_local(d, RxInfo{iface, id_});
+    deliver_local(d, RxInfo{iface, id_, d.corrupted});
     return;
   }
   if (!forwarding_) return;

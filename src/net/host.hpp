@@ -54,6 +54,9 @@ struct RouteEntry {
 struct RxInfo {
   Interface iface = Interface::kLoopback;
   NodeId prev_hop_mac = 0;  // radio only: MAC of the transmitting neighbor
+  /// Mirrors Datagram::corrupted for handlers that only look at the
+  /// delivery context (chaos-engine ground truth, never on the wire).
+  bool corrupted = false;
 };
 
 using UdpHandler = std::function<void(const Datagram&, const RxInfo&)>;

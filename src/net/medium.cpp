@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
+
 namespace siphoc::net {
 
 RadioMedium::RadioMedium(sim::Simulator& sim, RadioConfig config)
@@ -32,6 +34,52 @@ void RadioMedium::detach(NodeId mac) {
 void RadioMedium::set_enabled(NodeId mac, bool enabled) {
   const auto it = mac_index_.find(mac);
   if (it != mac_index_.end()) radios_[it->second].enabled = enabled;
+}
+
+void RadioMedium::set_jammed(NodeId mac, bool jammed) {
+  if (jammed) {
+    jammed_.insert(mac);
+  } else {
+    jammed_.erase(mac);
+  }
+}
+
+double RadioMedium::fault_loss_probability(TimePoint now) const {
+  double p = faults_.extra_loss;
+  if (ramp_) {
+    if (now >= ramp_->t1 || ramp_->t1 <= ramp_->t0) {
+      p += ramp_->p1;
+    } else if (now <= ramp_->t0) {
+      p += ramp_->p0;
+    } else {
+      const double f =
+          std::chrono::duration<double>(now - ramp_->t0).count() /
+          std::chrono::duration<double>(ramp_->t1 - ramp_->t0).count();
+      p += ramp_->p0 + f * (ramp_->p1 - ramp_->p0);
+    }
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Frame RadioMedium::corrupt_copy(const Frame& frame) {
+  Frame out = frame;
+  out.datagram.corrupted = true;
+  const Bytes& clean = frame.datagram.payload.bytes();
+  if (!clean.empty()) {
+    Bytes mangled = clean;
+    const std::uint32_t flips = sim_.rng().uniform_int(1, 4);
+    const auto max_bit = static_cast<std::uint32_t>(mangled.size() * 8 - 1);
+    for (std::uint32_t k = 0; k < flips; ++k) {
+      const std::uint32_t bit = sim_.rng().uniform_int(0u, max_bit);
+      mangled[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    out.datagram.payload = std::move(mangled);
+  }
+  return out;
+}
+
+void RadioMedium::bump_fault_counter(const char* name) {
+  sim_.ctx().metrics().counter(name, "radio", "medium").add();
 }
 
 const RadioAttachment* RadioMedium::find(NodeId mac) const {
@@ -108,6 +156,9 @@ TrafficClass RadioMedium::classify(const Datagram& d) {
 void RadioMedium::transmit(const Frame& frame) {
   const RadioAttachment* sender = find(frame.src_mac);
   if (sender == nullptr || !sender->enabled) return;
+  // A jammed radio transmits nothing intelligible; drop at the source like
+  // a disabled one, but without touching the attachment state.
+  if (!jammed_.empty() && jammed_.contains(frame.src_mac)) return;
 
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.wire_size();
@@ -134,25 +185,67 @@ void RadioMedium::transmit(const Frame& frame) {
     scratch_.push_back(it->second);
   }
 
+  // Injected loss is time-dependent (ramps); evaluate once per frame.
+  const double fault_loss = fault_loss_probability(sim_.now());
+
   bool unicast_reached = frame.dst_mac == kBroadcastMac;
   for (const std::uint32_t i : scratch_) {
     const RadioAttachment& rx = radios_[i];
     if (rx.mac == frame.src_mac || !rx.enabled) continue;
+    if (!jammed_.empty() && jammed_.contains(rx.mac)) continue;
     if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) continue;
     const Position at =
         rx.fixed_position ? fixed_positions_[i] : rx.position();
     if (distance(from, at) > config_.range) continue;
     unicast_reached = true;
+    // Fault draws happen in a fixed documented order (base loss, injected
+    // loss, corrupt, duplicate, reorder), each gated on its probability
+    // being non-zero, so default-configured runs consume an unchanged RNG
+    // stream and chaos runs are seed-reproducible.
     if (config_.loss_probability > 0 &&
         sim_.rng().chance(config_.loss_probability)) {
       ++stats_.frames_lost;
       continue;
     }
+    if (fault_loss > 0 && sim_.rng().chance(fault_loss)) {
+      ++stats_.frames_lost;
+      continue;
+    }
+    const bool corrupt = faults_.corrupt_probability > 0 &&
+                         sim_.rng().chance(faults_.corrupt_probability);
+    const bool duplicate = faults_.duplicate_probability > 0 &&
+                           sim_.rng().chance(faults_.duplicate_probability);
+    Duration rx_arrival = arrival;
+    if (faults_.reorder_probability > 0 &&
+        sim_.rng().chance(faults_.reorder_probability)) {
+      ++stats_.frames_reordered;
+      bump_fault_counter("medium.frames_reordered_total");
+      rx_arrival += std::chrono::duration_cast<Duration>(
+          faults_.reorder_delay * sim_.rng().uniform());
+    }
     ++stats_.frames_delivered;
     // Copy what the closure needs: the attachment may move as radios_
     // grows. The frame copy is cheap -- the payload is a shared buffer.
     auto deliver = rx.deliver;
-    sim_.schedule(arrival, [deliver, frame] { deliver(frame); });
+    if (corrupt) {
+      ++stats_.frames_corrupted;
+      bump_fault_counter("medium.frames_corrupted_total");
+      Frame mangled = corrupt_copy(frame);
+      sim_.schedule(rx_arrival,
+                    [deliver, mangled = std::move(mangled)] { deliver(mangled); });
+    } else {
+      sim_.schedule(rx_arrival, [deliver, frame] { deliver(frame); });
+    }
+    if (duplicate) {
+      ++stats_.frames_duplicated;
+      bump_fault_counter("medium.frames_duplicated_total");
+      // The duplicate is a clean copy arriving a few MAC slots later, the
+      // way a lost 802.11 ACK makes the sender retransmit a received frame.
+      const Duration dup_arrival =
+          rx_arrival +
+          config_.mac_latency * (1 + sim_.rng().uniform_int(0, 3));
+      sim_.schedule(dup_arrival, [deliver, frame] { deliver(frame); });
+    }
   }
 
   if (!unicast_reached) {

@@ -8,12 +8,20 @@
 // A link filter lets scenarios forbid individual links regardless of
 // distance -- the software equivalent of the firewalls the paper installs
 // between testbed laptops "to enforce multihop communication".
+//
+// The chaos engine (src/scenario/faults.*) additionally drives the medium's
+// fault knobs: per-node jamming, scheduled loss ramps, payload
+// bit-corruption, frame duplication and bounded reordering. Every fault
+// decision is drawn from the simulation RNG, and each draw is gated on its
+// probability being non-zero, so runs with all knobs off consume the exact
+// RNG stream they did before the knobs existed (seed reproducibility).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -44,7 +52,23 @@ struct MediumStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_lost = 0;        // random loss draws
   std::uint64_t unicast_unreachable = 0;  // addressed MAC out of range
+  std::uint64_t frames_corrupted = 0;   // delivered with flipped payload bits
+  std::uint64_t frames_duplicated = 0;  // extra copy scheduled
+  std::uint64_t frames_reordered = 0;   // delivery delayed past later frames
   std::unordered_map<TrafficClass, ClassStats> by_class;
+};
+
+/// Chaos-engine fault injection knobs, all per-receiver and drawn from the
+/// simulation RNG in a fixed order (extra loss, corrupt, duplicate,
+/// reorder) after the base loss draw. Corruption flips 1-4 random bits in
+/// the UDP payload -- headers stay intact, modeling mangled bytes that slip
+/// past the L2 checksum, which is exactly what the codecs must reject.
+struct FaultKnobs {
+  double extra_loss = 0.0;           // added on top of loss_probability
+  double corrupt_probability = 0.0;  // deliver a bit-flipped copy
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  Duration reorder_delay = milliseconds(20);  // max extra delivery delay
 };
 
 /// What a node plugs into the medium.
@@ -83,6 +107,28 @@ class RadioMedium {
     tap_ = std::move(tap);
   }
 
+  // --- chaos-engine fault knobs ----------------------------------------
+  void set_fault_knobs(FaultKnobs knobs) { faults_ = knobs; }
+  const FaultKnobs& fault_knobs() const { return faults_; }
+
+  /// Scheduled loss epoch: the injected loss probability ramps linearly
+  /// from `p0` at `t0` to `p1` at `t1` and stays at `p1` afterwards (on top
+  /// of both the base loss_probability and FaultKnobs::extra_loss).
+  void set_loss_ramp(TimePoint t0, double p0, TimePoint t1, double p1) {
+    ramp_ = LossRamp{t0, t1, p0, p1};
+  }
+  void clear_loss_ramp() { ramp_.reset(); }
+
+  /// Radio blackout: a jammed node neither transmits nor receives, but
+  /// unlike set_enabled(false) the attachment state is untouched, so the
+  /// node's own stack keeps running (it just shouts into the void).
+  void set_jammed(NodeId mac, bool jammed);
+  bool jammed(NodeId mac) const { return jammed_.contains(mac); }
+
+  /// Current injected loss probability (extra_loss + active ramp), clamped
+  /// to [0, 1]. Exposed so tests and the fault engine can audit the ramp.
+  double fault_loss_probability(TimePoint now) const;
+
   void transmit(const Frame& frame);
 
   /// ARP substitute: IP address -> MAC of the owning radio.
@@ -103,6 +149,11 @@ class RadioMedium {
 
  private:
   const RadioAttachment* find(NodeId mac) const;
+
+  /// Bit-flipped copy of `frame` with Datagram::corrupted set (ground truth
+  /// for the corrupt-accepted soak assertion).
+  Frame corrupt_copy(const Frame& frame);
+  void bump_fault_counter(const char* name);
 
   /// Uniform spatial grid over the cached positions of fixed radios, cell
   /// size = radio range: all in-range fixed receivers of a transmission
@@ -132,6 +183,16 @@ class RadioMedium {
   std::function<bool(NodeId, NodeId)> link_filter_;
   std::function<void(const Frame&, TimePoint)> tap_;
   MediumStats stats_;
+
+  struct LossRamp {
+    TimePoint t0;
+    TimePoint t1;
+    double p0 = 0.0;
+    double p1 = 0.0;
+  };
+  FaultKnobs faults_;
+  std::optional<LossRamp> ramp_;
+  std::unordered_set<NodeId> jammed_;
 };
 
 /// Well-known UDP ports of the emulated deployment.

@@ -41,6 +41,11 @@ struct Datagram {
   /// Shared immutable buffer: copying a Datagram (per-receiver broadcast
   /// delivery, per-hop forwarding) does not copy the payload bytes.
   SharedBytes payload;
+  /// Ground truth for the chaos engine: set by the radio medium's
+  /// bit-corruption injector, never serialized in encode(). Receivers that
+  /// manage to decode a corrupted payload anyway are counted
+  /// (`chaos.corrupt_accepted_total`) -- the chaos soak asserts zero.
+  bool corrupted = false;
 
   Endpoint source() const { return {src, src_port}; }
   Endpoint destination() const { return {dst, dst_port}; }

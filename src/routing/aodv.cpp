@@ -170,9 +170,17 @@ void Aodv::send_hello() {
 void Aodv::on_packet(const net::Datagram& d, const net::RxInfo&) {
   auto decoded = aodv::decode(d.payload);
   if (!decoded) {
+    metrics_.routing.decode_errors.add();
     log_.warn("malformed AODV packet from ", d.src.to_string(), ": ",
               decoded.error().message);
     return;
+  }
+  if (d.corrupted) {
+    // Chaos-engine ground truth: a bit-flipped packet slipped past the CRC
+    // trailer. The soak asserts this never happens (see docs/RESILIENCE.md).
+    host_.sim().ctx().metrics()
+        .counter("chaos.corrupt_accepted_total", host_.name(), "aodv")
+        .add();
   }
   // The datagram source is the transmitting previous hop: control packets
   // travel link-locally (broadcast or one-hop unicast re-originated per hop).

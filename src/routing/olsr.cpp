@@ -157,9 +157,17 @@ void Olsr::transmit(Message message) {
 void Olsr::on_packet(const net::Datagram& d, const net::RxInfo&) {
   auto packet = olsr::decode(d.payload);
   if (!packet) {
+    metrics_.routing.decode_errors.add();
     log_.warn("malformed OLSR packet from ", d.src.to_string(), ": ",
               packet.error().message);
     return;
+  }
+  if (d.corrupted) {
+    // Chaos-engine ground truth: corruption survived the CRC trailer; the
+    // chaos soak asserts this counter stays zero.
+    host_.sim().ctx().metrics()
+        .counter("chaos.corrupt_accepted_total", host_.name(), "olsr")
+        .add();
   }
   const net::Address prev_hop = d.src;
   for (const auto& m : packet->messages) {

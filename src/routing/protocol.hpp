@@ -95,11 +95,16 @@ struct RoutingMetrics {
         control_bytes(registry.counter("routing.control_bytes_total", node,
                                        component)),
         piggyback_bytes(registry.counter("routing.piggyback_bytes_total",
-                                         node, component)) {}
+                                         node, component)),
+        decode_errors(registry.counter("routing.decode_errors_total", node,
+                                       component)) {}
 
   Counter& control_packets;
   Counter& control_bytes;
   Counter& piggyback_bytes;
+  /// Control packets rejected by the codec (CRC mismatch, truncation,
+  /// unknown type) -- the chaos engine's corruption injector feeds this.
+  Counter& decode_errors;
 };
 
 /// Common surface of the MANET routing daemons (AODV, OLSR).

@@ -1,0 +1,145 @@
+// Chaos engine: deterministic stack-wide fault injection.
+//
+// A FaultPlan is a declarative timeline of fault events -- node crashes and
+// restarts, gateway kills, link partitions, loss/corruption/duplication/
+// reordering epochs, radio jamming -- either parsed from a small text format
+// or generated from a seed (splitmix64 derivation, so `--chaos seed=N` is
+// byte-reproducible). The FaultEngine schedules a plan against a running
+// Testbed and exposes the state the invariant monitor needs to know when it
+// is fair to demand recovery (docs/RESILIENCE.md documents the model).
+//
+// Everything here runs in virtual time and draws nothing from the
+// simulation RNG: generating or applying a plan never perturbs the packet
+// schedule of the workload it torments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "scenario/scenario.hpp"
+
+namespace siphoc::scenario {
+
+/// One scheduled fault action, `at` relative to when the plan is applied.
+struct FaultEvent {
+  enum class Kind {
+    kCrash,        // destroy the nodes' middleware stacks (Testbed::crash_node)
+    kRestart,      // respawn crashed stacks cold
+    kKillGateway,  // rip the wired uplink off the nodes
+    kPartition,    // forbid radio links between `nodes` and `nodes_b`
+    kHeal,         // drop the partition
+    kLoss,         // injected loss ramps p0 -> p1 over `ramp`, holds p1
+    kCorrupt,      // per-receiver bit-corruption probability = p1
+    kDuplicate,    // per-receiver duplication probability = p1
+    kReorder,      // per-receiver reorder probability = p1, max delay `ramp`
+    kJam,          // radio blackout for `nodes` (stack keeps running)
+    kUnjam,
+  };
+
+  Duration at{};
+  Kind kind = Kind::kHeal;
+  std::vector<std::size_t> nodes;    // targets (empty for medium-wide knobs)
+  std::vector<std::size_t> nodes_b;  // partition side B
+  double p0 = 0.0;
+  double p1 = 0.0;
+  Duration ramp{};  // loss ramp length / max reorder delay
+
+  std::string to_string() const;
+};
+
+/// A timeline of fault events, sorted by time.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Parses the text format (one event per line, '#' comments):
+  ///
+  ///   at 5s crash 2
+  ///   at 12s restart 2
+  ///   at 3s partition 0,1 | 2,3
+  ///   at 20s heal
+  ///   at 8s loss 0 0.4 5s        # ramp 0 -> 40% over 5 s, then hold
+  ///   at 30s loss 0 0 0s         # back to clean air
+  ///   at 10s corrupt 0.05
+  ///   at 10s duplicate 0.02
+  ///   at 10s reorder 0.1 25ms
+  ///   at 15s jam 1,2
+  ///   at 18s unjam 1,2
+  ///   at 40s kill-gateway 0
+  ///
+  /// Durations accept s/ms/us suffixes; a bare number means seconds.
+  static Result<FaultPlan> parse(const std::string& text);
+
+  /// Deterministic schedule derived from a seed (splitmix64 sub-streams,
+  /// never the simulation RNG). Always contains at least one corruption
+  /// epoch and one loss ramp; crashes only hit nodes outside
+  /// `protected_nodes` and are always paired with a restart, partitions
+  /// with a heal, so the network ends the plan whole.
+  static FaultPlan generate(std::uint64_t seed, Duration duration,
+                            std::size_t nodes,
+                            const std::vector<std::size_t>& protected_nodes = {});
+
+  /// Canonical text form; parse(to_string()) reproduces the plan.
+  std::string to_string() const;
+};
+
+/// Applies fault plans to a running Testbed and tracks fault state.
+///
+/// The engine owns the medium's single link-filter slot for the lifetime of
+/// the engine (partitions are implemented through it); scenarios that
+/// install their own filter must not use partitions through this engine.
+class FaultEngine {
+ public:
+  explicit FaultEngine(Testbed& bed);
+  ~FaultEngine();
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// Schedules every event of the plan relative to the current virtual time.
+  void apply(const FaultPlan& plan);
+
+  // --- manual fault API (immediate; what plan events call internally) -----
+  void crash(std::size_t node);
+  void restart(std::size_t node);
+  void kill_gateway(std::size_t node);
+  void partition(std::vector<std::size_t> a, std::vector<std::size_t> b);
+  void heal();
+  void jam(std::size_t node);
+  void unjam(std::size_t node);
+  /// Loss epoch: injected loss ramps from p0 now to p1 at now+ramp, then
+  /// holds p1 until the next call. set_loss(0, 0, {}) clears.
+  void set_loss(double p0, double p1, Duration ramp);
+  void set_corrupt(double p);
+  void set_duplicate(double p);
+  void set_reorder(double p, Duration max_delay);
+
+  // --- state (consumed by the invariant monitor) --------------------------
+  bool partition_active() const { return partition_active_; }
+  /// Any fault currently in force: live partition, jammed or dead node,
+  /// non-zero injected loss/corruption/duplication/reordering.
+  bool faults_active() const;
+  /// Virtual time of the most recent fault action (including recoveries --
+  /// a restart is also something the network must settle from).
+  TimePoint last_disruption() const { return last_disruption_; }
+  /// True when no fault is active and none has fired for `window`.
+  bool quiet_for(Duration window) const;
+
+  /// Virtual-time narration of every applied action ("[12.000000s] crash
+  /// n2"), reproducible byte for byte under a fixed seed.
+  const std::vector<std::string>& narration() const { return log_; }
+
+ private:
+  void run(const FaultEvent& event);
+  void note(const std::string& what);
+
+  Testbed& bed_;
+  std::vector<sim::EventHandle> scheduled_;
+  std::vector<std::string> log_;
+  std::vector<int> side_;  // partition side per node (0 = unassigned)
+  bool partition_active_ = false;
+  std::vector<std::size_t> jammed_;
+  TimePoint last_disruption_{};
+};
+
+}  // namespace siphoc::scenario

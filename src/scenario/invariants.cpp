@@ -1,0 +1,153 @@
+#include "scenario/invariants.hpp"
+
+#include "common/metrics.hpp"
+
+namespace siphoc::scenario {
+
+std::string InvariantViolation::to_string() const {
+  return "[" + format_time(when) + "] " + invariant + ": " + detail;
+}
+
+std::string InvariantReport::to_string() const {
+  std::string out = "invariant checks: " + std::to_string(checks) +
+                    ", violations: " + std::to_string(violations.size()) +
+                    "\n";
+  for (const auto& v : violations) {
+    out += "  " + v.to_string() + "\n";
+  }
+  return out;
+}
+
+InvariantMonitor::InvariantMonitor(Testbed& bed, const FaultEngine* engine,
+                                   InvariantConfig config)
+    : bed_(bed), engine_(engine), config_(config) {}
+
+InvariantMonitor::~InvariantMonitor() { stop(); }
+
+void InvariantMonitor::start(Duration period) {
+  stop();
+  arm(period);
+}
+
+void InvariantMonitor::stop() { tick_.cancel(); }
+
+void InvariantMonitor::arm(Duration period) {
+  // Fixed-period self-rescheduling (PeriodicTimer draws RNG jitter; the
+  // monitor must observe without perturbing the packet schedule).
+  tick_ = bed_.sim().schedule(period, [this, period] {
+    check();
+    arm(period);
+  });
+}
+
+void InvariantMonitor::check() {
+  ++report_.checks;
+  bed_.ctx()
+      .metrics()
+      .counter("invariants.checks_total", "testbed", "invariants")
+      .add();
+  check_calls_terminate();
+  check_transactions_bounded();
+  check_slp_purges();
+  check_reattaches();
+}
+
+void InvariantMonitor::violate(const char* invariant, const std::string& key,
+                               std::string detail) {
+  if (!reported_.insert(std::string(invariant) + "/" + key).second) return;
+  report_.violations.push_back(
+      {invariant, std::move(detail), bed_.sim().now()});
+  bed_.ctx()
+      .metrics()
+      .counter("invariants.violations_total", "testbed", "invariants")
+      .add();
+}
+
+void InvariantMonitor::check_calls_terminate() {
+  const TimePoint now = bed_.sim().now();
+  for (std::size_t p = 0; p < bed_.phone_count(); ++p) {
+    auto& ua = bed_.phone(p).user_agent();
+    const Duration budget = ua.transactions().timers().timeout() +
+                            config_.grace;
+    for (const auto& call : ua.call_snapshots()) {
+      const bool pending =
+          call.state == sip::UserAgent::CallState::kInviting ||
+          call.state == sip::UserAgent::CallState::kRinging;
+      if (pending && now - call.started > budget) {
+        violate("calls-terminate",
+                ua.config().aor.aor() + "/" + std::to_string(call.id),
+                ua.config().aor.aor() + " call " + std::to_string(call.id) +
+                    " stuck for " + format_time(TimePoint{} +
+                                                (now - call.started)));
+      }
+    }
+  }
+}
+
+void InvariantMonitor::check_transactions_bounded() {
+  const TimePoint now = bed_.sim().now();
+  for (std::size_t p = 0; p < bed_.phone_count(); ++p) {
+    const auto& txn = bed_.phone(p).user_agent().transactions();
+    // Worst case before a transaction must terminate: the 64*T1 timeout,
+    // plus the longest linger timer (Timer D for client INVITE; server side
+    // lingers at most T4 more).
+    const Duration budget = txn.timers().timeout() + txn.timers().timer_d() +
+                            txn.timers().t4 + config_.grace;
+    const Duration oldest = txn.oldest_transaction_age(now);
+    if (oldest > budget) {
+      violate("transactions-bounded",
+              bed_.phone(p).user_agent().config().aor.aor(),
+              bed_.phone(p).user_agent().config().aor.aor() +
+                  " has a transaction alive for " +
+                  format_time(TimePoint{} + oldest));
+    }
+  }
+}
+
+void InvariantMonitor::check_slp_purges() {
+  const TimePoint now = bed_.sim().now();
+  for (std::size_t i = 0; i < bed_.size(); ++i) {
+    if (!bed_.node_alive(i)) continue;
+    auto& slp = bed_.stack(i).slp();
+    // Purging is traffic-driven (every lookup and every received SLP frame
+    // purges first); the monitor acts as the next lookup, then asserts the
+    // purge actually removed everything stale.
+    slp.purge_expired();
+    for (const auto& entry : slp.cache_contents()) {
+      if (entry.expires <= now) {
+        violate("slp-purges", bed_.host(i).name() + "/" + entry.key,
+                bed_.host(i).name() + " still caches expired " +
+                    entry.to_string());
+      }
+    }
+  }
+}
+
+void InvariantMonitor::check_reattaches() {
+  if (!engine_) return;
+  const Duration interval =
+      bed_.options().stack.connection.check_interval *
+      static_cast<int>(config_.reattach_checks);
+  if (!engine_->quiet_for(interval)) return;
+
+  // A live gateway: a running stack on a host that still has its uplink.
+  bool gateway_alive = false;
+  for (std::size_t i = 0; i < bed_.size(); ++i) {
+    if (bed_.node_alive(i) && bed_.host(i).has_wired()) gateway_alive = true;
+  }
+  if (!gateway_alive) return;
+
+  for (std::size_t i = 0; i < bed_.size(); ++i) {
+    if (!bed_.node_alive(i) || bed_.host(i).has_wired()) continue;
+    auto* provider = bed_.stack(i).connection_provider();
+    if (!provider) continue;
+    if (!provider->internet_available()) {
+      violate("reattaches", bed_.host(i).name(),
+              bed_.host(i).name() +
+                  " is offline despite a live gateway and " +
+                  format_time(TimePoint{} + interval) + " of quiet air");
+    }
+  }
+}
+
+}  // namespace siphoc::scenario

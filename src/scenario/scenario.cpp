@@ -51,15 +51,19 @@ Testbed::Testbed(Options options) : options_(std::move(options)) {
 
 Testbed::~Testbed() {
   SimContext::Bind bind(sim_->ctx());
-  // Stop middleware before hosts/medium go away.
-  for (auto& stack : stacks_) stack->stop();
+  // Stop middleware before hosts/medium go away (crashed slots are null).
+  for (auto& stack : stacks_) {
+    if (stack) stack->stop();
+  }
 }
 
 void Testbed::start() {
   if (started_) return;
   started_ = true;
   SimContext::Bind bind(sim_->ctx());
-  for (auto& stack : stacks_) stack->start();
+  for (auto& stack : stacks_) {
+    if (stack) stack->start();
+  }
 }
 
 voip::SoftPhone& Testbed::add_phone(std::size_t node,
@@ -76,7 +80,35 @@ voip::SoftPhone& Testbed::add_phone(std::size_t node,
   SimContext::Bind bind(sim_->ctx());
   phones_.push_back(
       std::make_unique<voip::SoftPhone>(host(node), std::move(config)));
+  phone_nodes_.push_back(node);
   return *phones_.back();
+}
+
+void Testbed::crash_node(std::size_t i) {
+  if (!node_alive(i)) return;
+  SimContext::Bind bind(sim_->ctx());
+  // Radio off before teardown: the dying stack's parting messages (tunnel
+  // Disconnects, routing errors) must vanish, like a battery being pulled.
+  medium_->set_enabled(static_cast<net::NodeId>(i), false);
+  for (std::size_t k = 0; k < phones_.size(); ++k) {
+    if (phone_nodes_[k] == i) phones_[k]->power_off();
+  }
+  stacks_[i]->stop();
+  stacks_[i].reset();
+}
+
+void Testbed::restart_node(std::size_t i) {
+  if (node_alive(i)) return;
+  SimContext::Bind bind(sim_->ctx());
+  medium_->set_enabled(static_cast<net::NodeId>(i), true);
+  NodeStackConfig stack_config = options_.stack;
+  stack_config.routing = options_.routing;
+  stacks_[i] = std::make_unique<NodeStack>(*hosts_[i], internet_.get(),
+                                           stack_config);
+  if (started_) stacks_[i]->start();
+  for (std::size_t k = 0; k < phones_.size(); ++k) {
+    if (phone_nodes_[k] == i) phones_[k]->power_on();
+  }
 }
 
 bool Testbed::register_and_wait(voip::SoftPhone& phone, Duration max_wait) {

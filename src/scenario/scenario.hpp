@@ -55,6 +55,30 @@ class Testbed {
   std::size_t size() const { return hosts_.size(); }
   net::Host& host(std::size_t i) { return *hosts_.at(i); }
   NodeStack& stack(std::size_t i) { return *stacks_.at(i); }
+  const Options& options() const { return options_; }
+
+  // --- fault injection (the chaos engine's hooks; docs/RESILIENCE.md) ------
+  /// Tears down node i's entire middleware stack mid-run: radio silenced
+  /// first (the dying stack's goodbyes go nowhere), softphones on the node
+  /// power off, then the NodeStack is destroyed. The Host and its phones
+  /// survive -- only the middleware dies, like killing the paper's five
+  /// SIPHoc processes on one laptop.
+  void crash_node(std::size_t i);
+  /// Respawns a crashed node: radio back on, a fresh NodeStack is built
+  /// from the testbed options and started, and the node's phones power on
+  /// again (cold boot: empty routing tables, empty SLP cache, no tunnel).
+  void restart_node(std::size_t i);
+  /// True while node i has a live middleware stack.
+  bool node_alive(std::size_t i) const { return stacks_.at(i) != nullptr; }
+  /// Rips the wired uplink off a gateway node; its Gateway Provider
+  /// self-detects within one check interval and withdraws the service.
+  void kill_gateway(std::size_t i) { host(i).detach_wired(); }
+
+  std::size_t phone_count() const { return phones_.size(); }
+  /// Testbed node a phone was added on (for fault targeting).
+  std::size_t phone_node(std::size_t index) const {
+    return phone_nodes_.at(index);
+  }
 
   /// MANET address assignment convention: node i owns 10.0.0.(i+1).
   static net::Address manet_address(std::size_t i) {
@@ -122,6 +146,7 @@ class Testbed {
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
   std::vector<std::unique_ptr<voip::SoftPhone>> phones_;
+  std::vector<std::size_t> phone_nodes_;  // phones_[k] lives on node phone_nodes_[k]
   std::vector<std::unique_ptr<net::Host>> internet_hosts_;
   std::vector<std::unique_ptr<sip::Registrar>> providers_;
   std::vector<std::unique_ptr<sip::OutboundProxy>> provider_proxies_;

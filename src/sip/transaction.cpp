@@ -171,7 +171,8 @@ ServerTransaction::ServerTransaction(TransactionLayer& layer, Message request,
     : layer_(layer),
       request_(std::move(request)),
       peer_(peer),
-      method_(request_.method()) {
+      method_(request_.method()),
+      started_(layer.sim().now()) {
   if (auto via = request_.top_via()) branch_ = via->branch();
   state_ = is_invite() ? State::kProceeding : State::kTrying;
 }
@@ -199,8 +200,14 @@ void ServerTransaction::respond(Message response) {
     retransmit_interval_ = layer_.timers().t1;
     retransmit_timer_ = layer_.sim().schedule(
         retransmit_interval_, [this] { retransmit_final(); });
-    timeout_timer_ = layer_.sim().schedule(layer_.timers().timeout(),
-                                           [this] { terminate(); });
+    timeout_timer_ =
+        layer_.sim().schedule(layer_.timers().timeout(), [this] {
+          // Copy the hook first: terminate() requests a reap, but reaping is
+          // deferred, so `this` outlives the call.
+          const auto timed_out = on_timeout;
+          terminate();
+          if (timed_out) timed_out();
+        });
   } else {
     state_ = State::kCompleted;
     kill_timer_ = layer_.sim().schedule(layer_.timers().timeout(),
@@ -264,7 +271,12 @@ TransactionLayer::TransactionLayer(Transport& transport, std::string via_host,
   });
 }
 
-TransactionLayer::~TransactionLayer() { transport_.set_handler(nullptr); }
+TransactionLayer::~TransactionLayer() {
+  transport_.set_handler(nullptr);
+  // The deferred reap closure captures `this`; the transaction maps cancel
+  // their own timers as they are destroyed.
+  reap_event_.cancel();
+}
 
 std::string TransactionLayer::new_branch() {
   return std::string(kBranchCookie) + via_host_ + "-" +
@@ -363,9 +375,25 @@ void TransactionLayer::dispatch_response(const Message& response,
   if (stray_handler_) stray_handler_(response, from);
 }
 
+Duration TransactionLayer::oldest_transaction_age(TimePoint now) const {
+  Duration oldest{};
+  for (const auto& [key, txn] : clients_) {
+    if (txn->terminated()) continue;
+    oldest = std::max(oldest, now - txn->started());
+  }
+  for (const auto& [key, txn] : servers_) {
+    if (txn->terminated()) continue;
+    oldest = std::max(oldest, now - txn->started());
+  }
+  return oldest;
+}
+
 void TransactionLayer::reap() {
-  // Deferred so a transaction never deletes itself mid-callback.
-  sim().schedule(microseconds(1), [this] {
+  // Deferred so a transaction never deletes itself mid-callback. Reaping is
+  // idempotent, so collapsing concurrent requests into one pending sweep is
+  // behavior-neutral (and consumes no extra RNG draws).
+  if (reap_event_.pending()) return;
+  reap_event_ = sim().schedule(microseconds(1), [this] {
     std::erase_if(clients_,
                   [](const auto& kv) { return kv.second->terminated(); });
     std::erase_if(servers_,

@@ -38,8 +38,15 @@ class ClientTransaction {
   using ResponseCallback =
       std::function<void(std::optional<Message> response)>;
 
+  /// The chaos engine tears whole node stacks down mid-run; pending timer
+  /// events capture `this` and must not outlive the transaction.
+  ~ClientTransaction() { cancel_timers(); }
+
   const std::string& branch() const { return branch_; }
   bool terminated() const { return state_ == State::kTerminated; }
+  /// When the request was first transmitted (invariant monitor bounds the
+  /// lifetime of live transactions against this).
+  TimePoint started() const { return started_; }
   void cancel_timers();
 
  private:
@@ -75,6 +82,13 @@ class ClientTransaction {
 class ServerTransaction
     : public std::enable_shared_from_this<ServerTransaction> {
  public:
+  /// See ~ClientTransaction: pending timers must die with the transaction.
+  ~ServerTransaction() {
+    retransmit_timer_.cancel();
+    timeout_timer_.cancel();
+    kill_timer_.cancel();
+  }
+
   /// Sends (and takes responsibility for retransmitting) a response.
   void respond(Message response);
   /// Convenience: build the response from the original request.
@@ -84,10 +98,18 @@ class ServerTransaction
   /// Source endpoint of the request datagram (fallback response route).
   net::Endpoint peer() const { return peer_; }
   bool terminated() const { return state_ == State::kTerminated; }
+  /// When the request arrived (see ClientTransaction::started).
+  TimePoint started() const { return started_; }
 
   /// TU hook: invoked when the ACK completing a final response arrives
   /// (INVITE transactions only).
   std::function<void(const Message& ack)> on_ack;
+  /// TU hook: invoked when an INVITE final response was retransmitted for
+  /// the full timeout budget and no ACK ever arrived -- the peer is gone
+  /// and the UAS core must tear the nascent dialog down (RFC 3261
+  /// 13.3.1.4). Without this the call is a black hole: the chaos soak's
+  /// calls-terminate invariant exists to catch exactly that.
+  std::function<void()> on_timeout;
 
  private:
   friend class TransactionLayer;
@@ -109,6 +131,7 @@ class ServerTransaction
   std::string branch_;
   std::string method_;
   State state_ = State::kTrying;
+  TimePoint started_{};
   std::optional<Message> last_response_;
   Duration retransmit_interval_{};
   sim::EventHandle retransmit_timer_;
@@ -166,6 +189,12 @@ class TransactionLayer {
   std::size_t client_count() const { return clients_.size(); }
   std::size_t server_count() const { return servers_.size(); }
 
+  /// Age of the oldest non-terminated transaction, or zero when none are
+  /// live. The invariant monitor asserts this never exceeds the RFC 3261
+  /// worst case (64*T1 plus linger timers) -- a transaction that outlives
+  /// it is a leak.
+  Duration oldest_transaction_age(TimePoint now) const;
+
   /// Drops terminated transactions (called internally; public for tests).
   void reap();
 
@@ -194,6 +223,7 @@ class TransactionLayer {
   std::map<std::pair<std::string, std::string>,
            std::shared_ptr<ServerTransaction>>
       servers_;
+  sim::EventHandle reap_event_;  // at most one deferred reap in flight
   std::uint64_t id_counter_ = 0;
 };
 

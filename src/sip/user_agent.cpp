@@ -144,6 +144,7 @@ CallId UserAgent::invite(Uri target) {
   call.id = id;
   call.outgoing = true;
   call.state = CallState::kInviting;
+  call.started = host_.sim().now();
   call.local_rtp_port = next_rtp_port_;
   next_rtp_port_ += 2;  // leave room for RTCP, as real phones do
 
@@ -398,6 +399,7 @@ void UserAgent::handle_invite(std::shared_ptr<ServerTransaction> txn) {
   Call& call = calls_[id];
   call.id = id;
   call.outgoing = false;
+  call.started = host_.sim().now();
   call.invite = request;
   call.server_txn = txn;
   call.local_rtp_port = next_rtp_port_;
@@ -502,6 +504,16 @@ void UserAgent::accept_call(CallId id) {
     if (callbacks_.on_established)
       callbacks_.on_established(id, call->remote_rtp);
   };
+  call->server_txn->on_timeout = [this, id] {
+    Call* call = find_call(id);
+    if (call == nullptr || call->state != CallState::kRinging) return;
+    // Our 200 was never ACKed: the caller vanished mid-handshake
+    // (partition, crash). Tear the nascent dialog down instead of ringing
+    // forever.
+    log_.info("call ", id, " never ACKed; abandoning");
+    call->state = CallState::kEnded;
+    if (callbacks_.on_failed) callbacks_.on_failed(id, 408);
+  };
   call->server_txn->respond(std::move(ok));
   if (dialog) call->dialog = std::move(*dialog);
 }
@@ -551,6 +563,15 @@ std::size_t UserAgent::active_calls() const {
     if (call.state == CallState::kEstablished) ++n;
   }
   return n;
+}
+
+std::vector<UserAgent::CallSnapshot> UserAgent::call_snapshots() const {
+  std::vector<CallSnapshot> out;
+  out.reserve(calls_.size());
+  for (const auto& [id, call] : calls_) {
+    out.push_back({call.id, call.state, call.started});
+  }
+  return out;
 }
 
 net::Endpoint UserAgent::local_rtp(CallId id) const {

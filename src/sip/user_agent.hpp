@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sip/dialog.hpp"
@@ -93,6 +94,17 @@ class UserAgent {
   CallState call_state(CallId call) const;
   std::size_t active_calls() const;
 
+  /// Per-call view for the invariant monitor: every started call must reach
+  /// a terminal state (established, failed or ended) within the SIP timeout
+  /// budget -- a call parked in kInviting/kRinging past 64*T1 is a black
+  /// hole.
+  struct CallSnapshot {
+    CallId id = 0;
+    CallState state = CallState::kIdle;
+    TimePoint started{};
+  };
+  std::vector<CallSnapshot> call_snapshots() const;
+
   /// RTP endpoint this agent listens on for a given call.
   net::Endpoint local_rtp(CallId call) const;
 
@@ -105,6 +117,7 @@ class UserAgent {
     CallId id = 0;
     bool outgoing = false;
     CallState state = CallState::kIdle;
+    TimePoint started{};  // when the INVITE was sent/received
     Dialog dialog;
     std::optional<Message> invite;             // UAS: pending request
     std::shared_ptr<ServerTransaction> server_txn;

@@ -24,12 +24,19 @@ ConnectionProvider::ConnectionProvider(net::Host& host,
                        "connprov")
               .add();
           failover_pending_ = true;
+          loss_time_ = host_.sim().now();
         }
         if (connected && failover_pending_) {
           failover_pending_ = false;
           host_.sim().ctx().metrics()
               .counter("connprov.failovers_total", host_.name(), "connprov")
               .add();
+          // Tunnel-loss -> re-attach latency: the recovery time the chaos
+          // soak and docs/RESILIENCE.md bound.
+          host_.sim().ctx().metrics()
+              .histogram("connprov.failover_duration_ms", kLatencyBucketsMs,
+                         host_.name(), "connprov")
+              .observe(to_millis(host_.sim().now() - loss_time_));
         }
         if (on_change_) on_change_(internet_available());
       }) {}

@@ -50,6 +50,7 @@ class ConnectionProvider {
   bool started_ = false;
   bool lookup_in_flight_ = false;
   bool failover_pending_ = false;  // tunnel lost; next attach is a failover
+  TimePoint loss_time_{};          // when the tunnel went down
   std::uint64_t discoveries_ = 0;
 };
 

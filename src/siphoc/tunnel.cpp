@@ -14,6 +14,38 @@ Counter& tun_counter(net::Host& host, const std::string& name) {
 
 }  // namespace
 
+namespace tunnel {
+
+Bytes encode_frame(MsgType type, std::span<const std::uint8_t> payload) {
+  Bytes out;
+  out.reserve(1 + payload.size() + 4);
+  BufferWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(payload);
+  w.u32(crc32(out));
+  return out;
+}
+
+Result<Decoded> decode_frame(std::span<const std::uint8_t> data) {
+  if (data.size() < 5) return fail("tunnel: frame shorter than header+CRC");
+  const std::span<const std::uint8_t> head = data.first(data.size() - 4);
+  BufferReader trailer(data.subspan(data.size() - 4));
+  if (const auto want = trailer.u32(); !want || *want != crc32(head)) {
+    return fail("tunnel: CRC mismatch");
+  }
+  const auto raw_type = head[0];
+  if (raw_type < static_cast<std::uint8_t>(MsgType::kConnect) ||
+      raw_type > static_cast<std::uint8_t>(MsgType::kDisconnect)) {
+    return fail("tunnel: unknown message type " + std::to_string(raw_type));
+  }
+  Decoded out;
+  out.type = static_cast<MsgType>(raw_type);
+  out.payload.assign(head.begin() + 1, head.end());
+  return out;
+}
+
+}  // namespace tunnel
+
 // ===========================================================================
 // TunnelServer
 // ===========================================================================
@@ -47,11 +79,22 @@ void TunnelServer::stop() {
 }
 
 void TunnelServer::on_packet(const net::Datagram& d) {
-  BufferReader r(d.payload);
-  auto type = r.u8();
-  if (!type) return;
+  auto frame = tunnel::decode_frame(d.payload);
+  if (!frame) {
+    tun_counter(host_, "tunnel.decode_errors_total").add();
+    log_.debug("rejected tunnel frame from ", d.src.to_string(), ": ",
+               frame.error().message);
+    return;
+  }
+  if (d.corrupted) {
+    // A bit-flipped frame survived the CRC trailer; the chaos soak asserts
+    // this counter stays zero.
+    host_.sim().ctx().metrics()
+        .counter("chaos.corrupt_accepted_total", host_.name(), "tunnel")
+        .add();
+  }
 
-  switch (static_cast<MsgType>(*type)) {
+  switch (frame->type) {
     case MsgType::kConnect: {
       if (host_.internet() == nullptr) return;  // lost our uplink
       // Reuse the existing lease when the same client reconnects.
@@ -86,18 +129,17 @@ void TunnelServer::on_packet(const net::Datagram& d) {
             .set(static_cast<double>(clients_.size()));
       }
       clients_[assigned].last_seen = host_.sim().now();
-      Bytes reply;
-      BufferWriter w(reply);
-      w.u8(static_cast<std::uint8_t>(MsgType::kAccept));
+      Bytes lease;
+      BufferWriter w(lease);
       w.u32(assigned.value());
-      host_.send_udp(net::kTunnelPort, d.source(), std::move(reply));
+      host_.send_udp(net::kTunnelPort, d.source(),
+                     tunnel::encode_frame(MsgType::kAccept, lease));
       break;
     }
     case MsgType::kData: {
-      auto inner_bytes = r.raw(r.remaining());
-      if (!inner_bytes) return;
-      auto inner = net::Datagram::decode(*inner_bytes);
+      auto inner = net::Datagram::decode(frame->payload);
       if (!inner) {
+        tun_counter(host_, "tunnel.decode_errors_total").add();
         log_.warn("undecodable tunneled datagram from ", d.src.to_string());
         return;
       }
@@ -118,10 +160,8 @@ void TunnelServer::on_packet(const net::Datagram& d) {
           client.last_seen = host_.sim().now();
         }
       }
-      Bytes reply;
-      BufferWriter w(reply);
-      w.u8(static_cast<std::uint8_t>(MsgType::kKeepaliveAck));
-      host_.send_udp(net::kTunnelPort, d.source(), std::move(reply));
+      host_.send_udp(net::kTunnelPort, d.source(),
+                     tunnel::encode_frame(MsgType::kKeepaliveAck));
       break;
     }
     case MsgType::kDisconnect: {
@@ -146,16 +186,14 @@ void TunnelServer::on_packet(const net::Datagram& d) {
 
 void TunnelServer::relay_to_client(const Client& client,
                                    const net::Datagram& inner) {
-  Bytes wire;
-  BufferWriter w(wire);
-  w.u8(static_cast<std::uint8_t>(MsgType::kData));
-  w.raw(inner.encode());
   ++stats_.datagrams_to_clients;
   stats_.bytes_relayed += inner.wire_size();
   tun_counter(host_, "tunnel.datagrams_down_total").add();
   tun_counter(host_, "tunnel.bytes_relayed_total")
       .add(inner.wire_size());
-  host_.send_udp(net::kTunnelPort, client.manet_endpoint, std::move(wire));
+  const Bytes inner_wire = inner.encode();
+  host_.send_udp(net::kTunnelPort, client.manet_endpoint,
+                 tunnel::encode_frame(MsgType::kData, inner_wire));
 }
 
 void TunnelServer::expire_clients() {
@@ -196,10 +234,8 @@ void TunnelClient::connect(net::Endpoint gateway) {
              [this](const net::Datagram& d, const net::RxInfo&) {
                on_packet(d);
              });
-  Bytes wire;
-  BufferWriter w(wire);
-  w.u8(static_cast<std::uint8_t>(MsgType::kConnect));
-  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  host_.send_udp(net::kTunnelClientPort, gateway_,
+                 tunnel::encode_frame(MsgType::kConnect));
   connect_timeout_ = host_.sim().schedule(seconds(5), [this] {
     if (!connected_) teardown(true);
   });
@@ -207,19 +243,27 @@ void TunnelClient::connect(net::Endpoint gateway) {
 
 void TunnelClient::disconnect() {
   if (!connected_ && !connecting_) return;
-  Bytes wire;
-  BufferWriter w(wire);
-  w.u8(static_cast<std::uint8_t>(MsgType::kDisconnect));
-  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  host_.send_udp(net::kTunnelClientPort, gateway_,
+                 tunnel::encode_frame(MsgType::kDisconnect));
   teardown(true);
 }
 
 void TunnelClient::on_packet(const net::Datagram& d) {
-  BufferReader r(d.payload);
-  auto type = r.u8();
-  if (!type) return;
+  auto frame = tunnel::decode_frame(d.payload);
+  if (!frame) {
+    tun_counter(host_, "tunnel.decode_errors_total").add();
+    log_.debug("rejected tunnel frame from ", d.src.to_string(), ": ",
+               frame.error().message);
+    return;
+  }
+  if (d.corrupted) {
+    host_.sim().ctx().metrics()
+        .counter("chaos.corrupt_accepted_total", host_.name(), "tunnel")
+        .add();
+  }
+  BufferReader r(frame->payload);
 
-  switch (static_cast<MsgType>(*type)) {
+  switch (frame->type) {
     case MsgType::kAccept: {
       auto assigned = r.u32();
       if (!assigned || connected_) return;
@@ -253,10 +297,11 @@ void TunnelClient::on_packet(const net::Datagram& d) {
       break;
     }
     case MsgType::kData: {
-      auto inner_bytes = r.raw(r.remaining());
-      if (!inner_bytes) return;
-      auto inner = net::Datagram::decode(*inner_bytes);
-      if (!inner) return;
+      auto inner = net::Datagram::decode(frame->payload);
+      if (!inner) {
+        tun_counter(host_, "tunnel.decode_errors_total").add();
+        return;
+      }
       tun_counter(host_, "tunnel.bytes_rx_total")
           .add(inner->wire_size());
       host_.inject(std::move(*inner), net::Interface::kTunnel);
@@ -273,11 +318,9 @@ void TunnelClient::on_packet(const net::Datagram& d) {
 
 void TunnelClient::encapsulate(net::Datagram inner) {
   tun_counter(host_, "tunnel.bytes_tx_total").add(inner.wire_size());
-  Bytes wire;
-  BufferWriter w(wire);
-  w.u8(static_cast<std::uint8_t>(MsgType::kData));
-  w.raw(inner.encode());
-  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  const Bytes inner_wire = inner.encode();
+  host_.send_udp(net::kTunnelClientPort, gateway_,
+                 tunnel::encode_frame(MsgType::kData, inner_wire));
 }
 
 void TunnelClient::send_keepalive() {
@@ -287,10 +330,8 @@ void TunnelClient::send_keepalive() {
     teardown(true);
     return;
   }
-  Bytes wire;
-  BufferWriter w(wire);
-  w.u8(static_cast<std::uint8_t>(MsgType::kKeepalive));
-  host_.send_udp(net::kTunnelClientPort, gateway_, std::move(wire));
+  host_.send_udp(net::kTunnelClientPort, gateway_,
+                 tunnel::encode_frame(MsgType::kKeepalive));
 }
 
 void TunnelClient::teardown(bool notify) {

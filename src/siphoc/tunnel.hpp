@@ -108,6 +108,19 @@ enum class MsgType : std::uint8_t {
 inline constexpr Duration kKeepaliveInterval = seconds(2);
 inline constexpr int kMaxMissedKeepalives = 3;
 inline constexpr Duration kClientExpiry = seconds(10);
+
+/// Checksum-framed tunnel message: [u8 type][payload][u32 CRC trailer],
+/// CRC over everything before it. decode_frame rejects truncated input,
+/// CRC mismatches and unknown MsgType values, so a corrupted frame can
+/// never hand believable bytes to the inner Datagram parser or flip a
+/// keepalive into a disconnect.
+Bytes encode_frame(MsgType type, std::span<const std::uint8_t> payload = {});
+
+struct Decoded {
+  MsgType type = MsgType::kConnect;
+  Bytes payload;
+};
+Result<Decoded> decode_frame(std::span<const std::uint8_t> data);
 }  // namespace tunnel
 
 }  // namespace siphoc

@@ -14,6 +14,7 @@ ManetSlp::Metrics::Metrics(MetricsRegistry& r, std::string_view node)
           r.counter("slp.adverts_piggybacked_total", node, "slp")),
       queries_answered(r.counter("slp.queries_answered_total", node, "slp")),
       entries_absorbed(r.counter("slp.entries_absorbed_total", node, "slp")),
+      decode_errors(r.counter("slp.decode_errors_total", node, "slp")),
       cache_entries(r.gauge("slp.cache_entries", node, "slp")),
       resolve_ms(
           r.histogram("slp.resolve_ms", kLatencyBucketsMs, node, "slp")) {}
@@ -28,7 +29,12 @@ ManetSlp::ManetSlp(net::Host& host, routing::Protocol& protocol,
   protocol_.set_handler(this);
 }
 
-ManetSlp::~ManetSlp() { protocol_.set_handler(nullptr); }
+ManetSlp::~ManetSlp() {
+  protocol_.set_handler(nullptr);
+  // The chaos engine destroys and respawns whole node stacks mid-run;
+  // pending lookup timeouts capture `this`, so they must die with us.
+  for (auto& p : pending_) p.timeout.cancel();
+}
 
 // --------------------------------------------------------------------------
 // Directory
@@ -57,6 +63,7 @@ void ManetSlp::deregister_service(const std::string& type,
 
 void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
                       LookupCallback callback) {
+  purge_expired();
   ++stats_.lookups;
   metrics_.lookups.add();
   if (auto hit = find_match(type, key)) {
@@ -100,6 +107,23 @@ void ManetSlp::lookup(std::string type, std::string key, Duration timeout,
         {id, host_.manet_address(), std::move(type), std::move(key)});
     protocol_.flood_query(encode_extension(block, now()));
   }
+}
+
+void ManetSlp::purge_expired() {
+  const std::size_t before = cache_.size();
+  std::erase_if(cache_, [this](const auto& kv) {
+    return kv.second.expires <= now();
+  });
+  if (cache_.size() != before) {
+    metrics_.cache_entries.set(static_cast<double>(cache_.size()));
+  }
+}
+
+std::vector<ServiceEntry> ManetSlp::cache_contents() const {
+  std::vector<ServiceEntry> out;
+  out.reserve(cache_.size());
+  for (const auto& [k, e] : cache_) out.push_back(e);
+  return out;
 }
 
 std::vector<ServiceEntry> ManetSlp::snapshot() const {
@@ -166,8 +190,12 @@ routing::HandlerVerdict ManetSlp::on_incoming(
     net::Address from) {
   routing::HandlerVerdict verdict;
   if (extension.empty()) return verdict;
+  // Housekeeping on packet arrival: dead nodes' registrations leave the
+  // cache as soon as their lifetime lapses (invariant monitor checks this).
+  purge_expired();
   auto block = decode_extension(extension, now());
   if (!block) {
+    metrics_.decode_errors.add();
     log_.warn("malformed SLP extension on ", routing::to_string(info.kind),
               " from ", from.to_string(), ": ", block.error().message);
     return verdict;

@@ -87,6 +87,15 @@ class ManetSlp final : public Directory, public routing::RoutingHandler {
   /// Learned-entry count (tests).
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// Drops cached entries whose `expires` has passed. Lookups already
+  /// filter expired entries, but the invariant monitor wants the directory
+  /// itself to forget dead nodes' registrations, not merely ignore them.
+  void purge_expired();
+
+  /// Raw cache view including expired entries (invariant monitor / tests);
+  /// snapshot() is the filtered public view.
+  std::vector<ServiceEntry> cache_contents() const;
+
  private:
   using Key = std::pair<std::string, std::string>;  // (type, key)
 
@@ -116,6 +125,7 @@ class ManetSlp final : public Directory, public routing::RoutingHandler {
     Counter& adverts_piggybacked;
     Counter& queries_answered;
     Counter& entries_absorbed;
+    Counter& decode_errors;
     Gauge& cache_entries;
     Histogram& resolve_ms;
   };

@@ -1,12 +1,20 @@
 // Failure-injection tests: partitions, node death, packet loss bursts,
 // component restarts -- the events an emergency-response MANET actually
 // experiences. The middleware must degrade and recover, never wedge.
+//
+// All injection goes through the chaos engine (scenario/faults.hpp), so
+// these tests double as coverage of its manual fault API; the seeded-plan
+// soak lives in test_chaos.cpp.
 #include <gtest/gtest.h>
 
-#include "scenario/scenario.hpp"
+#include "scenario/faults.hpp"
+#include "scenario/invariants.hpp"
 
 namespace siphoc {
 namespace {
+
+using scenario::FaultEngine;
+using scenario::InvariantMonitor;
 
 TEST(ResilienceTest, PartitionDuringCallBothSidesEnd) {
   scenario::Options o;
@@ -24,8 +32,9 @@ TEST(ResilienceTest, PartitionDuringCallBothSidesEnd) {
   bed.run_for(seconds(2));
 
   // Hard partition: the two middle relays go dark.
-  bed.medium().set_enabled(1, false);
-  bed.medium().set_enabled(2, false);
+  FaultEngine engine(bed);
+  engine.jam(1);
+  engine.jam(2);
   bed.run_for(seconds(3));
 
   // Alice hangs up into the void: the BYE transaction must time out and
@@ -38,6 +47,11 @@ TEST(ResilienceTest, PartitionDuringCallBothSidesEnd) {
   bed.run_for(seconds(40));  // 64*T1 BYE timeout
   EXPECT_TRUE(alice_ended);
   EXPECT_EQ(alice.user_agent().active_calls(), 0u);
+
+  // Nothing may be wedged on either side after the dust settles.
+  InvariantMonitor monitor(bed);
+  monitor.check();
+  EXPECT_TRUE(monitor.report().ok()) << monitor.report().to_string();
 }
 
 TEST(ResilienceTest, CallAcrossHealedPartition) {
@@ -53,12 +67,13 @@ TEST(ResilienceTest, CallAcrossHealedPartition) {
   bed.register_and_wait(bob);
 
   // Partition before the first call: it fails.
-  bed.medium().set_enabled(1, false);
+  FaultEngine engine(bed);
+  engine.partition({0}, {1, 2, 3});
   const auto blocked = bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(8));
   EXPECT_FALSE(blocked.established);
 
   // Heal; the next call succeeds.
-  bed.medium().set_enabled(1, true);
+  engine.heal();
   bed.run_for(seconds(3));
   const auto healed = bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(15));
   EXPECT_TRUE(healed.established);
@@ -78,7 +93,8 @@ TEST(ResilienceTest, CalleeNodeDiesMidCall) {
   const auto call = bed.call_and_wait(alice, "bob@voicehoc.ch");
   ASSERT_TRUE(call.established);
 
-  bed.medium().set_enabled(2, false);  // Bob's battery dies
+  FaultEngine engine(bed);
+  engine.crash(2);  // Bob's battery dies: stack, phone and radio all gone
   bed.run_for(seconds(5));
   // RTP stops arriving; the report reflects it rather than crashing.
   const auto before = alice.call_report(call.call)->packets_received;
@@ -112,16 +128,12 @@ TEST(ResilienceTest, LossBurstDuringEstablishedCallRecovers) {
   ASSERT_TRUE(call.established);
   bed.run_for(seconds(5));
 
-  // 10 s of terrible radio (50% loss) -- voice suffers but the call and
-  // routing survive, and quality recovers afterwards.
-  // (RadioConfig is copied at construction; mutate via a link filter that
-  // emulates outage bursts instead.)
-  int counter = 0;
-  bed.medium().set_link_filter([&counter](net::NodeId, net::NodeId) {
-    return ++counter % 2 == 0;  // drop every other delivery opportunity
-  });
+  // 10 s of terrible radio (50% injected loss) -- voice suffers but the
+  // call and routing survive, and quality recovers afterwards.
+  FaultEngine engine(bed);
+  engine.set_loss(0.5, 0.5, Duration{});
   bed.run_for(seconds(10));
-  bed.medium().set_link_filter(nullptr);
+  engine.set_loss(0, 0, Duration{});
   bed.run_for(seconds(10));
 
   const auto report = alice.call_report(call.call);
@@ -143,10 +155,12 @@ TEST(ResilienceTest, StackRestartReRegistersCleanly) {
   bed.register_and_wait(bob);
   ASSERT_TRUE(bed.call_and_wait(alice, "bob@voicehoc.ch").established);
 
-  // Restart node 1's whole middleware stack (daemon crash + respawn).
-  bed.stack(1).stop();
+  // Crash node 1's whole middleware stack and respawn it cold (daemon
+  // crash + restart; Bob's phone reboots with it).
+  FaultEngine engine(bed);
+  engine.crash(1);
   bed.run_for(seconds(2));
-  bed.stack(1).start();
+  engine.restart(1);
   bed.run_for(seconds(2));
   // Bob must re-register (his proxy lost its bindings); then calls work.
   bed.register_and_wait(bob);
@@ -171,11 +185,17 @@ TEST(ResilienceTest, SlpEntryExpiryCausesCleanMissNotStaleForward) {
 
   // Bob's phone dies silently; his advertisement expires everywhere.
   bob.power_off();
-  bed.medium().set_enabled(2, false);
+  FaultEngine engine(bed);
+  engine.jam(2);
   bed.run_for(seconds(20));
   const auto result = bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(12));
   EXPECT_FALSE(result.established);
   EXPECT_EQ(result.failure_status, 404);  // clean miss, not a black hole
+
+  // The expired advertisement must be gone from every cache (invariant I3).
+  InvariantMonitor monitor(bed);
+  monitor.check();
+  EXPECT_TRUE(monitor.report().ok()) << monitor.report().to_string();
 }
 
 TEST(ResilienceTest, SimultaneousCrossCallsBothComplete) {
