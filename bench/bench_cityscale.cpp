@@ -1,0 +1,192 @@
+// Experiment E10: city-scale single-simulation parallelism.
+//
+// E9 (bench_scalability) fans *independent* cells across cores; this bench
+// takes the other axis the paper's deferred evaluation would have needed: a
+// single simulation too big for one event loop -- 1,000+ OLSR nodes at
+// constant density -- sharded into spatial region lanes that execute
+// concurrently inside a conservative lookahead window (the per-hop MAC
+// latency; docs/ARCHITECTURE.md).
+//
+// Three runs of the identical scenario:
+//   regions 0               -- the classic sequential kernel (baseline)
+//   regions 8, 1 thread     -- sharded content, inline execution
+//   regions 8, N threads    -- sharded content, worker-pool execution
+// The two sharded runs must agree byte for byte (rows + merged metrics);
+// the bench exits non-zero if they diverge. Wall-clock for all three goes
+// to stdout and --json; on a multi-core host the last line is the
+// single-simulation speedup, on a single-core host it records overhead.
+#include <cmath>
+#include <cstring>
+
+#include "bench_table.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace siphoc;
+
+namespace {
+
+struct CityRow {
+  int pairs = 0;
+  int registered = 0;
+  int calls_ok = 0;
+  double setup_ms = 0;
+  double events = 0;
+  double windows = 0;      // lookahead windows executed (0 when regions=0)
+  double serialized = 0;   // windows forced sequential by scenario traffic
+  double wall_ms = 0;
+  std::string metrics;     // merged registry snapshot (identity check)
+};
+
+CityRow run(std::size_t nodes, std::uint32_t regions, unsigned sim_threads,
+            std::uint64_t seed) {
+  SimContext context;
+  scenario::Options options;
+  options.context = &context;
+  options.seed = seed;
+  options.nodes = nodes;
+  options.topology = scenario::Topology::kRandomArea;
+  options.area = 75.0 * std::sqrt(static_cast<double>(nodes));
+  options.routing = RoutingKind::kOlsr;
+  options.sim_regions = regions;
+  options.sim_threads = sim_threads;
+
+  const bench::WallTimer wall;
+  scenario::Testbed bed(options);
+  bed.start();
+
+  // A sampled workload (not N/5 pairs: at city scale the interesting cost
+  // is the control plane, and a fixed call sample keeps the workload
+  // comparable across sizes): 8 corner-to-corner pairs.
+  const int pairs = 8;
+  std::vector<voip::SoftPhone*> callers;
+  for (int p = 0; p < pairs; ++p) {
+    voip::SoftPhoneConfig pc;
+    pc.domain = "voicehoc.ch";
+    pc.answer_delay = Duration::zero();
+    pc.username = "caller" + std::to_string(p);
+    callers.push_back(&bed.add_phone(static_cast<std::size_t>(p), pc));
+    pc.username = "callee" + std::to_string(p);
+    bed.add_phone(nodes - 1 - static_cast<std::size_t>(p), pc);
+  }
+  bed.settle(seconds(25));  // OLSR convergence at diameter ~15 hops
+
+  CityRow row;
+  row.pairs = pairs;
+  for (int p = 0; p < pairs; ++p) {
+    if (bed.register_and_wait(*callers[static_cast<std::size_t>(p)])) {
+      ++row.registered;
+    }
+    if (bed.register_and_wait(bed.phone(2 * static_cast<std::size_t>(p) + 1))) {
+      ++row.registered;
+    }
+  }
+  bed.run_for(seconds(5));  // let the piggybacked bindings flood out
+
+  std::vector<double> setups;
+  for (int p = 0; p < pairs; ++p) {
+    const auto call = bed.call_and_wait(
+        *callers[static_cast<std::size_t>(p)],
+        "callee" + std::to_string(p) + "@voicehoc.ch", seconds(15));
+    if (call.established) {
+      ++row.calls_ok;
+      setups.push_back(to_millis(call.setup_time));
+    }
+  }
+  bed.run_for(seconds(5));  // concurrent voice
+
+  bed.finalize_metrics();
+  row.setup_ms = bench::mean(setups);
+  row.events = static_cast<double>(bed.sim().events_executed());
+  row.windows = static_cast<double>(bed.sim().windows_run());
+  row.serialized = static_cast<double>(bed.sim().windows_serialized());
+  row.metrics = bed.ctx().metrics().to_json();
+  row.wall_ms = wall.elapsed_ms();
+  return row;
+}
+
+/// Everything except wall time (which is the one legitimately
+/// nondeterministic column) must match between the two sharded runs.
+bool same_simulation(const CityRow& a, const CityRow& b) {
+  return a.pairs == b.pairs && a.registered == b.registered &&
+         a.calls_ok == b.calls_ok && a.setup_ms == b.setup_ms &&
+         a.events == b.events && a.windows == b.windows &&
+         a.serialized == b.serialized && a.metrics == b.metrics;
+}
+
+void print_row(const char* label, const CityRow& r) {
+  std::printf("%-22s | %2d/%-2d %4d/%-2d %8.1fms | %10.0f %8.0f %6.1f%% | %9.1f\n",
+              label, r.registered, 2 * r.pairs, r.calls_ok, r.pairs,
+              r.setup_ms, r.events, r.windows,
+              r.windows > 0 ? 100.0 * r.serialized / r.windows : 0.0,
+              r.wall_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t nodes = args.quick ? 120 : 1000;
+  const std::uint32_t regions = args.regions > 0 ? args.regions : 8;
+  const unsigned threads = args.sim_threads > 1 ? args.sim_threads : 2;
+  const std::uint64_t seed = 9000 + nodes;
+
+  bench::print_header(
+      "E10: city-scale single-simulation parallelism",
+      "One OLSR MANET at constant density, sharded into spatial region\n"
+      "lanes (conservative lookahead = MAC latency). The sharded rows must\n"
+      "be byte-identical regardless of --sim-threads; wall time is the one\n"
+      "honest wall-clock column.");
+
+  std::printf("%zu nodes, %u regions, lookahead = MAC latency\n\n", nodes,
+              regions);
+  std::printf("%-22s | %-5s %-7s %-10s | %10s %8s %7s | %9s\n", "kernel",
+              "reg", "calls", "setup", "events", "windows", "serial",
+              "wall ms");
+  std::printf("-----------------------+----------------------------+---------"
+              "--------------------+----------\n");
+
+  const CityRow sequential = run(nodes, 0, 1, seed);
+  print_row("sequential (regions 0)", sequential);
+  const CityRow sharded1 = run(nodes, regions, 1, seed);
+  print_row("sharded, 1 thread", sharded1);
+  const CityRow shardedN = run(nodes, regions, threads, seed);
+  {
+    char label[32];
+    std::snprintf(label, sizeof label, "sharded, %u threads", threads);
+    print_row(label, shardedN);
+  }
+
+  if (!same_simulation(sharded1, shardedN)) {
+    std::printf("\n!! sharded runs diverged between --sim-threads 1 and %u "
+                "-- determinism bug\n", threads);
+    return 1;
+  }
+  std::printf("\nsharded rows byte-identical across thread counts: yes\n");
+  std::printf("single-simulation wall ratio (sharded@1 / sharded@%u): %.2f\n",
+              threads, shardedN.wall_ms > 0
+                           ? sharded1.wall_ms / shardedN.wall_ms
+                           : 0.0);
+
+  bench::JsonReport report("bench_cityscale");
+  auto add = [&](const std::string& label, const CityRow& r,
+                 double used_regions, double used_threads) {
+    report.add_row(label,
+                   {{"nodes", static_cast<double>(nodes)},
+                    {"regions", used_regions},
+                    {"sim_threads", used_threads},
+                    {"registered", r.registered},
+                    {"calls_ok", r.calls_ok},
+                    {"pairs", r.pairs},
+                    {"setup_ms", r.setup_ms},
+                    {"events", r.events},
+                    {"windows", r.windows},
+                    {"windows_serialized", r.serialized},
+                    {"wall_ms", r.wall_ms}});
+  };
+  add("olsr/" + std::to_string(nodes) + "/seq", sequential, 0, 1);
+  add("olsr/" + std::to_string(nodes) + "/sharded@1", sharded1, regions, 1);
+  add("olsr/" + std::to_string(nodes) + "/sharded@" + std::to_string(threads),
+      shardedN, regions, threads);
+  report.write(args.json_path);
+  return 0;
+}

@@ -27,7 +27,7 @@ struct ScaleRow {
 };
 
 ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed,
-             SimContext& ctx) {
+             SimContext& ctx, std::uint32_t regions, unsigned sim_threads) {
   scenario::Options options;
   options.context = &ctx;
   options.seed = seed;
@@ -37,6 +37,11 @@ ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed,
   // with the 120 m radio range at every size.
   options.area = 75.0 * std::sqrt(static_cast<double>(nodes));
   options.routing = routing;
+  // --regions shards each cell's simulation (content: changes the rows);
+  // --sim-threads is execution-only. bench_cityscale drives the >=1000-node
+  // end of this curve with both.
+  options.sim_regions = regions;
+  options.sim_threads = sim_threads;
 
   scenario::Testbed bed(options);
   bed.start();
@@ -90,6 +95,7 @@ ScaleRow run(std::size_t nodes, RoutingKind routing, std::uint64_t seed,
   row.piggyback_bytes_per_node =
       static_cast<double>(ext) / static_cast<double>(nodes);
   row.events = static_cast<double>(bed.sim().events_executed());
+  bed.finalize_metrics();  // fold region-lane registries before export
   return row;
 }
 
@@ -133,13 +139,15 @@ int main(int argc, char** argv) {
   const bench::WallTimer wall;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const std::size_t nodes = sizes[i];
-    cells.push_back({3000 + nodes, [&rows, i, nodes](SimContext& ctx) {
-                       rows[2 * i] = run(nodes, RoutingKind::kAodv,
-                                         3000 + nodes, ctx);
+    cells.push_back({3000 + nodes, [&rows, i, nodes, &args](SimContext& ctx) {
+                       rows[2 * i] =
+                           run(nodes, RoutingKind::kAodv, 3000 + nodes, ctx,
+                               args.regions, args.sim_threads);
                      }});
-    cells.push_back({3000 + nodes, [&rows, i, nodes](SimContext& ctx) {
-                       rows[2 * i + 1] = run(nodes, RoutingKind::kOlsr,
-                                             3000 + nodes, ctx);
+    cells.push_back({3000 + nodes, [&rows, i, nodes, &args](SimContext& ctx) {
+                       rows[2 * i + 1] =
+                           run(nodes, RoutingKind::kOlsr, 3000 + nodes, ctx,
+                               args.regions, args.sim_threads);
                      }});
   }
   const auto contexts = scenario::run_cells(std::move(cells), args.threads);

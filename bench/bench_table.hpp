@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -86,10 +87,20 @@ inline bool write_merged_sidecar(
 ///   --threads <n>   fan independent experiment cells across n worker
 ///                   threads (default 1). Tables, --json output and metrics
 ///                   sidecars are byte-identical for every value.
+///   --regions <r>   shard each simulation into r spatial region lanes
+///                   (benches that honor it pass this to
+///                   Options::sim_regions). Simulation *content*: rows
+///                   change with r, exactly like changing the seed, so the
+///                   committed baselines use the default 0.
+///   --sim-threads <n>
+///                   worker threads inside each (sharded) simulation. Pure
+///                   execution policy: byte-identical output for any value.
 struct BenchArgs {
   bool quick = false;
   std::string json_path;
   unsigned threads = 1;
+  std::uint32_t regions = 0;
+  unsigned sim_threads = 1;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -102,9 +113,16 @@ struct BenchArgs {
       } else if (arg == "--threads" && i + 1 < argc) {
         const long n = std::strtol(argv[++i], nullptr, 10);
         args.threads = n > 1 ? static_cast<unsigned>(n) : 1;
+      } else if (arg == "--regions" && i + 1 < argc) {
+        const long n = std::strtol(argv[++i], nullptr, 10);
+        args.regions = n > 0 ? static_cast<std::uint32_t>(n) : 0;
+      } else if (arg == "--sim-threads" && i + 1 < argc) {
+        const long n = std::strtol(argv[++i], nullptr, 10);
+        args.sim_threads = n > 1 ? static_cast<unsigned>(n) : 1;
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--quick] [--json <path>] [--threads <n>]\n",
+                     "usage: %s [--quick] [--json <path>] [--threads <n>] "
+                     "[--regions <r>] [--sim-threads <n>]\n",
                      argv[0]);
       }
     }

@@ -18,6 +18,10 @@
 //                        all cells ("merged_cells": K).
 //   --threads T          worker threads for --sweep (default 1); output is
 //                        byte-identical for every T
+//   --sim-threads N      worker threads *inside* each simulation (region
+//                        sharding; needs a `regions` script line). Pure
+//                        execution policy: output is byte-identical for
+//                        every N (docs/ARCHITECTURE.md)
 //   --faults FILE        apply a FaultPlan file (docs/RESILIENCE.md format)
 //                        to the scripted scenario; recovery invariants are
 //                        monitored and violations fail the run
@@ -31,6 +35,11 @@
 // Script commands (one per line; '#' starts a comment):
 //   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
 //   seed VALUE                                    -- RNG seed (before nodes)
+//   regions R                                     -- shard the simulation
+//                                                    into R spatial regions
+//                                                    (before nodes; changes
+//                                                    results like seed does;
+//                                                    disables live tracing)
 //   gateway NODE                                  -- wired uplink on a node
 //   provider DOMAIN                               -- Internet SIP provider
 //   phone NODE USER DOMAIN                        -- out-of-the-box phone
@@ -42,6 +51,9 @@
 //   hangup USER                                   -- end USER's last call
 //   slp NODE                                      -- dump a node's SLP view
 //   trace on|off                                  -- live packet decoding
+#include <algorithm>
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -88,9 +100,12 @@ struct Runner {
   const scenario::FaultPlan* fault_plan = nullptr;
   bool trace_live = false;
   std::map<std::string, voip::SoftPhone*> phones;
+  std::map<std::string, std::size_t> phone_nodes;  // user -> testbed node
   std::map<std::string, sip::CallId> last_call;
   std::uint64_t seed = 42;
-  int errors = 0;
+  std::uint32_t regions = 0;   // `regions` script line; simulation content
+  unsigned sim_threads = 1;    // --sim-threads; pure execution policy
+  std::atomic<int> errors{0};
   // Sweep-cell plumbing: narration goes to `out` (a memstream when the
   // runner is one cell of a --sweep), the testbed simulates inside `ctx`,
   // and the cell's seed is derive_seed(script seed, cell index) so cells
@@ -101,22 +116,76 @@ struct Runner {
   std::uint64_t cell_index = 0;
   std::uint64_t effective_seed = 0;
 
+  // Sharded narration (docs/ARCHITECTURE.md): softphone callbacks fire on
+  // region lanes, potentially on worker threads, so they must not write to
+  // `out` directly. say() appends to the calling lane's buffer (no two
+  // lanes share one, so no lock) stamped with virtual time, and
+  // flush_narration() replays everything in (time, lane) order at the next
+  // command boundary -- byte-identical output for any --sim-threads.
+  // Unsharded runs print straight through, exactly as before.
+  struct Narration {
+    TimePoint when;
+    std::uint32_t lane = 0;
+    std::string text;
+  };
+  std::vector<std::vector<Narration>> pending_lines;
+
+#if defined(__GNUC__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void say(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    if (bed && bed->sim().sharded()) {
+      const std::uint32_t lane = bed->sim().current_lane();
+      pending_lines[lane].push_back({bed->sim().now(), lane, buf});
+      return;
+    }
+    std::fputs(buf, out);
+  }
+
+  void flush_narration() {
+    std::vector<Narration> all;
+    for (auto& lines : pending_lines) {
+      all.insert(all.end(), std::make_move_iterator(lines.begin()),
+                 std::make_move_iterator(lines.end()));
+      lines.clear();
+    }
+    // stable: per-lane insertion order survives as the (when, lane) tie-break.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Narration& a, const Narration& b) {
+                       return a.when != b.when ? a.when < b.when
+                                               : a.lane < b.lane;
+                     });
+    for (const auto& line : all) std::fputs(line.text.c_str(), out);
+  }
+
   std::uint64_t pick_seed() {
     effective_seed = sweep ? SimContext::derive_seed(seed, cell_index) : seed;
     return effective_seed;
   }
 
   void fail(const std::string& why) {
-    std::fprintf(out, "  !! %s\n", why.c_str());
+    say("  !! %s\n", why.c_str());
     ++errors;
+  }
+
+  scenario::Options base_options() {
+    scenario::Options o;
+    o.context = ctx;
+    o.seed = pick_seed();
+    o.sim_regions = regions;
+    o.sim_threads = sim_threads;
+    return o;
   }
 
   void ensure_bed() {
     if (!bed) {
-      scenario::Options o;
-      o.context = ctx;
-      o.seed = pick_seed();
-      bed = std::make_unique<scenario::Testbed>(o);
+      bed = std::make_unique<scenario::Testbed>(base_options());
+      pending_lines.assign(bed->sim().lane_count(), {});
     }
   }
 
@@ -129,14 +198,14 @@ struct Runner {
 
     if (cmd == "seed") {
       is >> seed;
+    } else if (cmd == "regions") {
+      is >> regions;
     } else if (cmd == "nodes") {
       std::size_t n = 2;
       std::string topo = "chain", routing = "aodv";
       double spacing = 100;
       is >> n >> topo >> spacing >> routing;
-      scenario::Options o;
-      o.context = ctx;
-      o.seed = pick_seed();
+      scenario::Options o = base_options();
       o.nodes = n;
       o.spacing = spacing;
       o.topology = topo == "grid"     ? scenario::Topology::kGrid
@@ -145,11 +214,22 @@ struct Runner {
       o.routing = routing == "olsr" ? RoutingKind::kOlsr : RoutingKind::kAodv;
       monitor.reset();
       engine.reset();
+      trace.reset();
       bed = std::make_unique<scenario::Testbed>(o);
-      trace = std::make_unique<scenario::TraceRecorder>(bed->medium());
+      pending_lines.assign(bed->sim().lane_count(), {});
+      if (!bed->sim().sharded()) {
+        // The recorder taps every frame on the medium; with region lanes
+        // running concurrently that tap would race, so sharded runs skip it.
+        trace = std::make_unique<scenario::TraceRecorder>(bed->medium());
+      }
       bed->start();
       std::fprintf(out, "  %zu nodes, %s, %s routing\n", n, topo.c_str(),
                    routing.c_str());
+      // Note: the banner must not mention --sim-threads; output is
+      // promised byte-identical across thread counts.
+      if (bed->sim().sharded()) {
+        std::fprintf(out, "  %u region lanes\n", bed->sim().lane_count() - 1);
+      }
       if (fault_plan) {
         engine = std::make_unique<scenario::FaultEngine>(*bed);
         monitor =
@@ -177,31 +257,34 @@ struct Runner {
       auto& phone = bed->add_phone(node, user, domain);
       voip::SoftPhoneEvents ev;
       ev.on_incoming = [this, user](sip::CallId, const sip::Uri& from) {
-        std::fprintf(out, "  [%s] ringing: call from %s\n", user.c_str(),
-                     from.aor().c_str());
+        say("  [%s] ringing: call from %s\n", user.c_str(),
+            from.aor().c_str());
       };
       ev.on_text = [this, user](const sip::Uri& from,
                                 const std::string& text) {
-        std::fprintf(out, "  [%s] text from %s: \"%s\"\n", user.c_str(),
-                     from.aor().c_str(), text.c_str());
+        say("  [%s] text from %s: \"%s\"\n", user.c_str(),
+            from.aor().c_str(), text.c_str());
       };
       ev.on_ended = [this, user](sip::CallId) {
-        std::fprintf(out, "  [%s] call ended\n", user.c_str());
+        say("  [%s] call ended\n", user.c_str());
       };
       phone.set_events(std::move(ev));
       phones[user] = &phone;
+      phone_nodes[user] = node;
     } else if (cmd == "settle" || cmd == "wait") {
       ensure_bed();
       double s = 1;
       is >> s;
       bed->run_for(std::chrono::duration_cast<Duration>(
           std::chrono::duration<double>(s)));
+      flush_narration();
     } else if (cmd == "register") {
       std::string user;
       is >> user;
       const auto it = phones.find(user);
       if (it == phones.end()) return fail("unknown phone " + user);
       const bool ok = bed->register_and_wait(*it->second);
+      flush_narration();
       std::fprintf(out, "  [%s] REGISTER -> %s\n", user.c_str(),
                    ok ? "200 OK" : "FAILED");
       if (!ok) ++errors;
@@ -211,6 +294,7 @@ struct Runner {
       const auto it = phones.find(user);
       if (it == phones.end()) return fail("unknown phone " + user);
       const auto result = bed->call_and_wait(*it->second, target);
+      flush_narration();
       if (result.established) {
         last_call[user] = result.call;
         std::fprintf(out, "  [%s] call to %s established in %.1f ms\n",
@@ -227,6 +311,8 @@ struct Runner {
       std::getline(is, text);
       const auto it = phones.find(user);
       if (it == phones.end()) return fail("unknown phone " + user);
+      sim::Simulator::LaneScope lane(bed->sim(),
+                                     bed->node_lane(phone_nodes.at(user)));
       it->second->send_text(target, std::string(trim(text)),
                             [this](bool ok, int status) {
                               if (!ok) {
@@ -239,7 +325,11 @@ struct Runner {
       is >> user;
       const auto it = last_call.find(user);
       if (it == last_call.end()) return fail("no call to hang up");
-      phones.at(user)->hang_up(it->second);
+      {
+        sim::Simulator::LaneScope lane(bed->sim(),
+                                       bed->node_lane(phone_nodes.at(user)));
+        phones.at(user)->hang_up(it->second);
+      }
       if (const auto rep = phones.at(user)->call_report(it->second)) {
         std::fprintf(out, "  [%s] call quality: MOS %.2f, %.2f%% loss\n",
                      user.c_str(), rep->quality.mos,
@@ -257,6 +347,12 @@ struct Runner {
       std::string mode;
       is >> mode;
       trace_live = mode == "on";
+      if (trace_live && bed && bed->sim().sharded()) {
+        std::fprintf(out,
+                     "  (live tracing unavailable in sharded runs; use "
+                     "regions 0)\n");
+        trace_live = false;
+      }
       if (!trace_live && trace) {
         std::fprintf(out, "  (captured %zu frames)\n", trace->captured());
       }
@@ -265,9 +361,12 @@ struct Runner {
     }
   }
 
-  /// Final fault accounting: one last invariant sweep, the engine's
-  /// narration, and violations counted as errors.
+  /// Final accounting: drain buffered narration, fold region-lane metrics
+  /// into the exportable registry, then one last invariant sweep, the
+  /// engine's narration, and violations counted as errors.
   void finish() {
+    flush_narration();
+    if (bed) bed->finalize_metrics();
     if (!monitor) return;
     monitor->stop();
     monitor->check();
@@ -391,6 +490,7 @@ int main(int argc, char** argv) {
   std::string faults_path;
   std::size_t sweep_seeds = 0;
   unsigned threads = 1;
+  unsigned sim_threads = 1;
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
   double chaos_duration = 120.0;
@@ -434,6 +534,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       const long n = std::strtol(argv[++i], nullptr, 10);
       threads = n > 1 ? static_cast<unsigned>(n) : 1;
+    } else if (arg == "--sim-threads" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      sim_threads = n > 1 ? static_cast<unsigned>(n) : 1;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return 2;
@@ -487,6 +590,7 @@ int main(int argc, char** argv) {
     // Single run, exactly as before the sweep mode existed: simulate in the
     // process-global context and export its registry.
     Runner runner;
+    runner.sim_threads = sim_threads;
     if (have_faults) runner.fault_plan = &fault_plan;
     for (const auto& line : split(script, '\n')) {
       runner.run_line(line);
@@ -506,7 +610,7 @@ int main(int argc, char** argv) {
       ++runner.errors;
     }
 
-    std::printf("\nscenario finished with %d error(s).\n", runner.errors);
+    std::printf("\nscenario finished with %d error(s).\n", runner.errors.load());
     return runner.errors == 0 ? 0 : 1;
   }
 
@@ -522,8 +626,8 @@ int main(int argc, char** argv) {
   std::vector<scenario::Cell> cells;
   cells.reserve(sweep_seeds);
   for (std::size_t k = 0; k < sweep_seeds; ++k) {
-    cells.push_back({0, [k, &results, &script, &fault_plan,
-                         have_faults](SimContext& ctx) {
+    cells.push_back({0, [k, &results, &script, &fault_plan, have_faults,
+                         sim_threads](SimContext& ctx) {
                        char* buf = nullptr;
                        std::size_t len = 0;
                        FILE* f = open_memstream(&buf, &len);
@@ -533,12 +637,13 @@ int main(int argc, char** argv) {
                          runner.ctx = &ctx;
                          runner.sweep = true;
                          runner.cell_index = k;
+                         runner.sim_threads = sim_threads;
                          if (have_faults) runner.fault_plan = &fault_plan;
                          for (const auto& line : split(script, '\n')) {
                            runner.run_line(line);
                          }
                          runner.finish();
-                         results[k].errors = runner.errors;
+                         results[k].errors = runner.errors.load();
                          results[k].seed = runner.effective_seed;
                        }
                        if (f != nullptr) {

@@ -12,6 +12,7 @@
 // addresses so a proxy can route "sip:alice@voicehoc.ch" to its provider.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <string>
@@ -39,12 +40,30 @@ class Internet {
 
   /// Delivers to the attachment owning `dst`; silently drops otherwise
   /// (like any Internet path to an unrouted address).
+  ///
+  /// Sharded simulations serialize the wired backbone on the scenario lane
+  /// (lane 0): gateways on different region lanes may send concurrently, so
+  /// the attachment/DNS lookup is deferred into the lane-0 delivery event
+  /// and only relaxed atomic counters are touched here. The wired latency
+  /// must be at least the lookahead window for the cross-lane hop to be
+  /// admissible (the testbed asserts this).
   void send(const Datagram& datagram) {
-    ++datagrams_sent_;
-    bytes_sent_ += datagram.wire_size();
+    datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(datagram.wire_size(), std::memory_order_relaxed);
+    if (sim_.sharded()) {
+      sim_.schedule_on(0, latency_, [this, datagram] {
+        const auto it = attachments_.find(datagram.dst);
+        if (it == attachments_.end()) {
+          datagrams_dropped_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        it->second(datagram);
+      });
+      return;
+    }
     const auto it = attachments_.find(datagram.dst);
     if (it == attachments_.end()) {
-      ++datagrams_dropped_;
+      datagrams_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     auto deliver = it->second;
@@ -61,9 +80,15 @@ class Internet {
     return it->second;
   }
 
-  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+  std::uint64_t datagrams_sent() const {
+    return datagrams_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t datagrams_dropped() const {
+    return datagrams_dropped_.load(std::memory_order_relaxed);
+  }
   Duration latency() const { return latency_; }
 
  private:
@@ -71,9 +96,9 @@ class Internet {
   Duration latency_;
   std::unordered_map<Address, DeliverFn> attachments_;
   std::unordered_map<std::string, Address> dns_;
-  std::uint64_t datagrams_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t datagrams_dropped_ = 0;
+  std::atomic<std::uint64_t> datagrams_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> datagrams_dropped_{0};
 };
 
 }  // namespace siphoc::net

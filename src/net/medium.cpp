@@ -1,14 +1,68 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "common/metrics.hpp"
 
 namespace siphoc::net {
 
+namespace {
+// Broadcasts with at least this many candidate receivers fan the pure
+// pre-checks (enabled/jammed/filter/distance) out over the worker pool;
+// smaller sets are not worth the dispatch. Loss/corrupt draws always stay
+// sequential in candidate order, so results are identical either way.
+constexpr std::size_t kPrefilterThreshold = 64;
+
+void merge_stats(MediumStats& into, const MediumStats& from) {
+  into.frames_sent += from.frames_sent;
+  into.bytes_sent += from.bytes_sent;
+  into.frames_delivered += from.frames_delivered;
+  into.frames_lost += from.frames_lost;
+  into.unicast_unreachable += from.unicast_unreachable;
+  into.frames_corrupted += from.frames_corrupted;
+  into.frames_duplicated += from.frames_duplicated;
+  into.frames_reordered += from.frames_reordered;
+  for (const auto& [cls, s] : from.by_class) {
+    ClassStats& dst = into.by_class[cls];
+    dst.frames += s.frames;
+    dst.bytes += s.bytes;
+  }
+}
+}  // namespace
+
 RadioMedium::RadioMedium(sim::Simulator& sim, RadioConfig config)
     : sim_(sim), config_(config) {}
+
+void RadioMedium::configure_lanes(std::function<std::uint32_t(NodeId)> lane_of) {
+  sharded_ = true;
+  lane_of_ = std::move(lane_of);
+  lane_stats_.assign(sim_.lane_count(), MediumStats{});
+  lane_scratch_.resize(sim_.lane_count());
+  index_dirty_ = true;
+  sim_.set_epoch_hook([this] { epoch_refresh(); });
+}
+
+void RadioMedium::epoch_refresh() {
+  if (index_dirty_) rebuild_index();
+  mobile_position_cache_.resize(radios_.size());
+  for (const std::uint32_t i : mobile_) {
+    mobile_position_cache_[i] = radios_[i].position();
+  }
+}
+
+const MediumStats& RadioMedium::stats() const {
+  if (!sharded_) return stats_;
+  agg_stats_ = MediumStats{};
+  for (const MediumStats& shard : lane_stats_) merge_stats(agg_stats_, shard);
+  return agg_stats_;
+}
+
+void RadioMedium::reset_stats() {
+  stats_ = {};
+  for (MediumStats& shard : lane_stats_) shard = {};
+}
 
 void RadioMedium::attach(RadioAttachment attachment) {
   arp_[attachment.address] = attachment.mac;
@@ -103,8 +157,10 @@ void RadioMedium::rebuild_index() {
   grid_.clear();
   mobile_.clear();
   fixed_positions_.assign(radios_.size(), Position{});
+  lane_by_radio_.assign(radios_.size(), 0);
   for (std::uint32_t i = 0; i < radios_.size(); ++i) {
     const RadioAttachment& r = radios_[i];
+    if (lane_of_) lane_by_radio_[i] = lane_of_(r.mac);
     if (r.fixed_position) {
       const Position p = r.position();
       fixed_positions_[i] = p;
@@ -160,14 +216,25 @@ void RadioMedium::transmit(const Frame& frame) {
   // a disabled one, but without touching the attachment state.
   if (!jammed_.empty() && jammed_.contains(frame.src_mac)) return;
 
-  ++stats_.frames_sent;
-  stats_.bytes_sent += frame.wire_size();
-  auto& cls = stats_.by_class[classify(frame.datagram)];
+  // Sharded runs keep one stats shard and one candidate scratch buffer per
+  // lane; aggregation happens in stats() at barrier time.
+  const std::uint32_t lane = sharded_ ? sim_.current_lane() : 0;
+  MediumStats& st = sharded_ ? lane_stats_[lane] : stats_;
+  ++st.frames_sent;
+  st.bytes_sent += frame.wire_size();
+  auto& cls = st.by_class[classify(frame.datagram)];
   ++cls.frames;
   cls.bytes += frame.wire_size();
   if (tap_) tap_(frame, sim_.now());
 
-  if (index_dirty_) rebuild_index();
+  // Attachments mutate only outside concurrent windows (setup, serial
+  // scenario windows), so a dirty index can always be rebuilt right here
+  // on the calling thread.
+  if (index_dirty_) {
+    assert(!sim_.in_parallel_window());
+    rebuild_index();
+  }
+  const bool in_window = sim_.in_parallel_window();
 
   const Position from = sender->position();
   const Duration tx_delay = std::chrono::duration_cast<Duration>(
@@ -177,26 +244,68 @@ void RadioMedium::transmit(const Frame& frame) {
 
   // Receiver set: unicast resolves the addressed MAC directly; broadcast
   // asks the spatial index for everything possibly in range.
-  scratch_.clear();
+  std::vector<std::uint32_t>& scratch =
+      sharded_ ? lane_scratch_[lane] : scratch_;
+  scratch.clear();
   if (frame.dst_mac == kBroadcastMac) {
-    collect_candidates(from, scratch_);
+    collect_candidates(from, scratch);
   } else if (const auto it = mac_index_.find(frame.dst_mac);
              it != mac_index_.end()) {
-    scratch_.push_back(it->second);
+    scratch.push_back(it->second);
+  }
+
+  // Wide broadcasts run the pure pre-checks (enabled/jammed/filter/range)
+  // in parallel over the worker pool; the subsequent loss/corruption draws
+  // still consume the RNG in candidate order, so the outcome is identical
+  // to the sequential scan. prefilter_[k]: 0 = skip, 1 = deliverable,
+  // 2 = mobile radio, finish the range check inline (mobility models are
+  // not safe to advance from worker threads).
+  const bool prefiltered = !in_window && sim_.parallel_enabled() &&
+                           frame.dst_mac == kBroadcastMac &&
+                           scratch.size() >= kPrefilterThreshold;
+  if (prefiltered) {
+    prefilter_.assign(scratch.size(), 0);
+    sim_.parallel_for(scratch.size(), [&](std::size_t k) {
+      const std::uint32_t i = scratch[k];
+      const RadioAttachment& rx = radios_[i];
+      if (rx.mac == frame.src_mac || !rx.enabled) return;
+      if (!jammed_.empty() && jammed_.contains(rx.mac)) return;
+      if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) return;
+      if (!rx.fixed_position) {
+        prefilter_[k] = 2;
+        return;
+      }
+      if (distance(from, fixed_positions_[i]) > config_.range) return;
+      prefilter_[k] = 1;
+    });
   }
 
   // Injected loss is time-dependent (ramps); evaluate once per frame.
   const double fault_loss = fault_loss_probability(sim_.now());
 
   bool unicast_reached = frame.dst_mac == kBroadcastMac;
-  for (const std::uint32_t i : scratch_) {
+  for (std::size_t k = 0; k < scratch.size(); ++k) {
+    const std::uint32_t i = scratch[k];
     const RadioAttachment& rx = radios_[i];
-    if (rx.mac == frame.src_mac || !rx.enabled) continue;
-    if (!jammed_.empty() && jammed_.contains(rx.mac)) continue;
-    if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) continue;
-    const Position at =
-        rx.fixed_position ? fixed_positions_[i] : rx.position();
-    if (distance(from, at) > config_.range) continue;
+    if (prefiltered) {
+      if (prefilter_[k] == 0) continue;
+      if (prefilter_[k] == 2 &&
+          distance(from, rx.position()) > config_.range) {
+        continue;
+      }
+    } else {
+      if (rx.mac == frame.src_mac || !rx.enabled) continue;
+      if (!jammed_.empty() && jammed_.contains(rx.mac)) continue;
+      if (link_filter_ && !link_filter_(frame.src_mac, rx.mac)) continue;
+      // Concurrent windows read the barrier snapshot of mobile positions
+      // (never the live model, which belongs to the radio's home lane);
+      // the snapshot is at most one lookahead window old.
+      const Position at = rx.fixed_position
+                              ? fixed_positions_[i]
+                              : (in_window ? mobile_position_cache_[i]
+                                           : rx.position());
+      if (distance(from, at) > config_.range) continue;
+    }
     unicast_reached = true;
     // Fault draws happen in a fixed documented order (base loss, injected
     // loss, corrupt, duplicate, reorder), each gated on its probability
@@ -204,11 +313,11 @@ void RadioMedium::transmit(const Frame& frame) {
     // stream and chaos runs are seed-reproducible.
     if (config_.loss_probability > 0 &&
         sim_.rng().chance(config_.loss_probability)) {
-      ++stats_.frames_lost;
+      ++st.frames_lost;
       continue;
     }
     if (fault_loss > 0 && sim_.rng().chance(fault_loss)) {
-      ++stats_.frames_lost;
+      ++st.frames_lost;
       continue;
     }
     const bool corrupt = faults_.corrupt_probability > 0 &&
@@ -218,38 +327,42 @@ void RadioMedium::transmit(const Frame& frame) {
     Duration rx_arrival = arrival;
     if (faults_.reorder_probability > 0 &&
         sim_.rng().chance(faults_.reorder_probability)) {
-      ++stats_.frames_reordered;
+      ++st.frames_reordered;
       bump_fault_counter("medium.frames_reordered_total");
       rx_arrival += std::chrono::duration_cast<Duration>(
           faults_.reorder_delay * sim_.rng().uniform());
     }
-    ++stats_.frames_delivered;
+    ++st.frames_delivered;
     // Copy what the closure needs: the attachment may move as radios_
     // grows. The frame copy is cheap -- the payload is a shared buffer.
+    // Delivery lands on the receiver's home lane (lane 0 when unsharded);
+    // the MAC latency floor under rx_arrival is what makes the lookahead
+    // window sound.
+    const std::uint32_t rx_lane = sharded_ ? lane_by_radio_[i] : 0;
     auto deliver = rx.deliver;
     if (corrupt) {
-      ++stats_.frames_corrupted;
+      ++st.frames_corrupted;
       bump_fault_counter("medium.frames_corrupted_total");
       Frame mangled = corrupt_copy(frame);
-      sim_.schedule(rx_arrival,
-                    [deliver, mangled = std::move(mangled)] { deliver(mangled); });
+      sim_.schedule_on(rx_lane, rx_arrival,
+                       [deliver, mangled = std::move(mangled)] { deliver(mangled); });
     } else {
-      sim_.schedule(rx_arrival, [deliver, frame] { deliver(frame); });
+      sim_.schedule_on(rx_lane, rx_arrival, [deliver, frame] { deliver(frame); });
     }
     if (duplicate) {
-      ++stats_.frames_duplicated;
+      ++st.frames_duplicated;
       bump_fault_counter("medium.frames_duplicated_total");
       // The duplicate is a clean copy arriving a few MAC slots later, the
       // way a lost 802.11 ACK makes the sender retransmit a received frame.
       const Duration dup_arrival =
           rx_arrival +
           config_.mac_latency * (1 + sim_.rng().uniform_int(0, 3));
-      sim_.schedule(dup_arrival, [deliver, frame] { deliver(frame); });
+      sim_.schedule_on(rx_lane, dup_arrival, [deliver, frame] { deliver(frame); });
     }
   }
 
   if (!unicast_reached) {
-    ++stats_.unicast_unreachable;
+    ++st.unicast_unreachable;
     if (sender->unicast_failed) {
       auto notify = sender->unicast_failed;
       sim_.schedule(arrival, [notify, frame] { notify(frame); });

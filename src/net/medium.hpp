@@ -131,6 +131,21 @@ class RadioMedium {
 
   void transmit(const Frame& frame);
 
+  // --- region sharding (docs/ARCHITECTURE.md) ---------------------------
+  /// Installs the MAC -> lane mapping for a sharded simulation: frame
+  /// deliveries are scheduled onto the receiving radio's lane, per-lane
+  /// stats shards replace the single counter block, and the medium
+  /// registers itself as the simulator's epoch hook (spatial index rebuild
+  /// + mobile-position snapshot at every window barrier). Call after
+  /// Simulator::enable_parallelism and before attaching radios.
+  void configure_lanes(std::function<std::uint32_t(NodeId)> lane_of);
+
+  /// Barrier-time refresh: rebuilds the spatial index if dirty and
+  /// snapshots every mobile radio's position. In-window delivery decisions
+  /// read the snapshot, so concurrent lanes never touch a mobility model
+  /// they don't own.
+  void epoch_refresh();
+
   /// ARP substitute: IP address -> MAC of the owning radio.
   std::optional<NodeId> resolve(Address address) const;
 
@@ -140,8 +155,10 @@ class RadioMedium {
   /// True when the two radios are currently within range (and not filtered).
   bool connected(NodeId a, NodeId b) const;
 
-  const MediumStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Aggregated over lane shards in sharded mode; read at a barrier (i.e.
+  /// not from concurrently-running region events).
+  const MediumStats& stats() const;
+  void reset_stats();
   const RadioConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
 
@@ -179,6 +196,20 @@ class RadioMedium {
   std::vector<std::uint32_t> mobile_;  // indices of non-fixed radios
   mutable std::vector<std::uint32_t> scratch_;  // reused per transmit
   bool index_dirty_ = true;
+
+  // Sharded-mode state. `lane_by_radio_` mirrors radios_ (rebuilt with the
+  // index); `mobile_position_cache_` is the barrier snapshot concurrent
+  // windows read; scratch and stats become per-lane to keep region lanes
+  // from sharing mutable state.
+  bool sharded_ = false;
+  std::function<std::uint32_t(NodeId)> lane_of_;
+  std::vector<std::uint32_t> lane_by_radio_;
+  std::vector<Position> mobile_position_cache_;
+  mutable std::vector<std::vector<std::uint32_t>> lane_scratch_;
+  std::vector<MediumStats> lane_stats_;
+  mutable MediumStats agg_stats_;
+  // Parallel candidate prefilter (unsharded hot loop; docs/PERFORMANCE.md).
+  mutable std::vector<std::uint8_t> prefilter_;
   std::unordered_map<Address, NodeId> arp_;
   std::function<bool(NodeId, NodeId)> link_filter_;
   std::function<void(const Frame&, TimePoint)> tap_;

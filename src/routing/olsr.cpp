@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "routing/route_hub.hpp"
+
 namespace siphoc::routing {
 
 using olsr::Hello;
@@ -22,7 +24,10 @@ Olsr::Olsr(net::Host& host, OlsrConfig config)
     : host_(host), config_(config), log_("olsr", host.name()),
       metrics_(host.sim().ctx().metrics(), host.name()) {}
 
-Olsr::~Olsr() { stop(); }
+Olsr::~Olsr() {
+  stop();
+  if (config_.route_hub != nullptr) config_.route_hub->forget(*this);
+}
 
 void Olsr::start() {
   if (running_) return;
@@ -47,6 +52,8 @@ void Olsr::stop() {
   tc_timer_.stop();
   housekeeping_timer_.stop();
   route_calc_.cancel();
+  route_calc_pending_ = false;
+  if (config_.route_hub != nullptr) config_.route_hub->forget(*this);
   host_.unbind(net::kOlsrPort);
   for (const auto& [dst, entry] : installed_routes_) host_.remove_route(dst, 32);
   installed_routes_.clear();
@@ -344,6 +351,10 @@ void Olsr::select_mprs() {
 void Olsr::schedule_route_calc() {
   if (route_calc_pending_) return;
   route_calc_pending_ = true;
+  if (config_.route_hub != nullptr) {
+    config_.route_hub->request(*this, config_.route_recalc_delay);
+    return;
+  }
   route_calc_ = host_.sim().schedule(config_.route_recalc_delay, [this] {
     route_calc_pending_ = false;
     calculate_routes();
@@ -351,7 +362,11 @@ void Olsr::schedule_route_calc() {
 }
 
 void Olsr::calculate_routes() {
-  if (!running_) return;
+  if (compute_routes()) commit_routes();
+}
+
+bool Olsr::compute_routes() {
+  if (!running_) return false;
   struct Hop {
     net::Address next_hop;
     int distance = 0;
@@ -377,7 +392,7 @@ void Olsr::calculate_routes() {
   }
   if (route_sym_scratch_ == route_sym_last_ &&
       route_edges_scratch_ == route_edges_last_) {
-    return;
+    return false;
   }
   route_sym_last_ = route_sym_scratch_;
   route_edges_last_ = route_edges_scratch_;
@@ -413,23 +428,28 @@ void Olsr::calculate_routes() {
     }
   }
 
+  pending_installed_.clear();
+  for (const auto& [dst, hop] : reach) {
+    pending_installed_.emplace(dst, std::make_pair(hop.next_hop, hop.distance));
+  }
+  return true;
+}
+
+void Olsr::commit_routes() {
   // Mirror into the host FIB: touch only routes whose next hop or metric
   // actually changed, drop vanished ones. Steady state (converged
   // network, periodic TCs) then costs zero FIB writes.
-  std::map<net::Address, std::pair<net::Address, int>> next_installed;
-  for (const auto& [dst, hop] : reach) {
-    next_installed.emplace(dst, std::make_pair(hop.next_hop, hop.distance));
-  }
-  for (const auto& [dst, entry] : next_installed) {
+  for (const auto& [dst, entry] : pending_installed_) {
     const auto it = installed_routes_.find(dst);
     if (it != installed_routes_.end() && it->second == entry) continue;
     host_.add_route(
         {dst, 32, entry.first, net::Interface::kRadio, entry.second});
   }
   for (const auto& [dst, entry] : installed_routes_) {
-    if (!next_installed.contains(dst)) host_.remove_route(dst, 32);
+    if (!pending_installed_.contains(dst)) host_.remove_route(dst, 32);
   }
-  installed_routes_ = std::move(next_installed);
+  installed_routes_ = std::move(pending_installed_);
+  pending_installed_ = {};
 }
 
 void Olsr::expire_state() {

@@ -1,0 +1,39 @@
+#include "routing/route_hub.hpp"
+
+#include "routing/olsr.hpp"
+
+namespace siphoc::routing {
+
+void ParallelRouteHub::request(Olsr& node, Duration delay) {
+  const TimePoint due = sim_.now() + delay;
+  auto [it, fresh] = pending_.try_emplace(due);
+  it->second.push_back(&node);
+  if (fresh) sim_.schedule(delay, [this, due] { fire(due); });
+}
+
+void ParallelRouteHub::forget(Olsr& node) {
+  for (auto& [due, nodes] : pending_) std::erase(nodes, &node);
+}
+
+void ParallelRouteHub::fire(TimePoint due) {
+  const auto it = pending_.find(due);
+  if (it == pending_.end()) return;
+  std::vector<Olsr*> batch = std::move(it->second);
+  pending_.erase(it);
+  if (batch.empty()) return;
+  ++batches_fired_;
+  recalcs_batched_ += batch.size();
+  // Clear the debounce flags first: a recalculation triggered *by* this
+  // batch (none today -- commits don't emit packets -- but cheap to be
+  // correct about) must re-arm rather than be swallowed.
+  for (Olsr* node : batch) node->route_calc_pending_ = false;
+  std::vector<std::uint8_t> changed(batch.size(), 0);
+  sim_.parallel_for(batch.size(), [&](std::size_t k) {
+    changed[k] = batch[k]->compute_routes() ? 1 : 0;
+  });
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (changed[k] != 0) batch[k]->commit_routes();
+  }
+}
+
+}  // namespace siphoc::routing

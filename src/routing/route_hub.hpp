@@ -1,0 +1,59 @@
+// ParallelRouteHub: batches same-due OLSR route recalculations and runs
+// their compute phase across the simulator's worker pool.
+//
+// In a dense MANET one TC flood debounces a route recalculation on *every*
+// node, all due at the same virtual instant (reception time +
+// route_recalc_delay). Sequentially that is the single heaviest tick in a
+// city-scale run. The hub coalesces those same-due recalcs into one event
+// and splits each node's calculation in two:
+//   * compute: snapshot + BFS over the node's own link/topology tables --
+//     a pure function of per-node state, safe to fan out via
+//     Simulator::parallel_for;
+//   * commit: FIB writes, applied sequentially in request order, so route
+//     installation order (and therefore every downstream observable) stays
+//     deterministic for any thread count.
+//
+// The hub changes the event interleaving relative to per-node recalc
+// events (one batch event instead of N), so like region count it is a
+// *content* switch: the testbed enables it only in parallel mode
+// (Options::sim_regions >= 1), never based on thread count. It is used in
+// unsharded parallel runs; region-sharded runs already recalculate
+// concurrently lane-by-lane and keep the per-node path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace siphoc::routing {
+
+class Olsr;
+
+class ParallelRouteHub {
+ public:
+  explicit ParallelRouteHub(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Enqueues `node` for a recalculation `delay` from now; nodes landing on
+  /// the same due instant share one batch event.
+  void request(Olsr& node, Duration delay);
+
+  /// Drops every pending reference to `node` (stopping/destroyed daemons).
+  void forget(Olsr& node);
+
+  // Introspection for tests/benches.
+  std::uint64_t batches_fired() const { return batches_fired_; }
+  std::uint64_t recalcs_batched() const { return recalcs_batched_; }
+
+ private:
+  void fire(TimePoint due);
+
+  sim::Simulator& sim_;
+  std::map<TimePoint, std::vector<Olsr*>> pending_;
+  std::uint64_t batches_fired_ = 0;
+  std::uint64_t recalcs_batched_ = 0;
+};
+
+}  // namespace siphoc::routing

@@ -1,12 +1,48 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
 namespace siphoc::scenario {
+
+NodeStackConfig Testbed::node_stack_config() const {
+  NodeStackConfig config = options_.stack;
+  config.routing = options_.routing;
+  config.olsr.route_hub = route_hub_.get();
+  return config;
+}
+
+std::uint32_t Testbed::lane_of_phone(const voip::SoftPhone& phone) const {
+  for (std::size_t k = 0; k < phones_.size(); ++k) {
+    if (phones_[k].get() == &phone) return node_lane(phone_nodes_[k]);
+  }
+  return 0;
+}
 
 Testbed::Testbed(Options options) : options_(std::move(options)) {
   sim_ = std::make_unique<sim::Simulator>(options_.seed, options_.context);
   // Bind for the rest of construction: component constructors register
   // metrics/loggers and must land in this testbed's context.
   SimContext::Bind bind(sim_->ctx());
+
+  if (options_.sim_regions > 0) {
+    sim::Simulator::ShardConfig shard;
+    shard.regions = static_cast<std::uint32_t>(std::min<std::size_t>(
+        options_.sim_regions, std::max<std::size_t>(options_.nodes, 1)));
+    shard.lookahead = options_.radio.mac_latency;
+    shard.threads = options_.sim_threads;
+    sim_->enable_parallelism(shard);
+    // Cross-lane hops must cover at least one lookahead window; the radio
+    // guarantees this by construction (MAC latency), the wired backbone
+    // must be configured to.
+    assert(!sim_->sharded() ||
+           options_.internet_latency >= options_.radio.mac_latency);
+    if (!sim_->sharded()) {
+      route_hub_ = std::make_unique<routing::ParallelRouteHub>(*sim_);
+    }
+  }
+
   medium_ = std::make_unique<net::RadioMedium>(*sim_, options_.radio);
   internet_ =
       std::make_unique<net::Internet>(*sim_, options_.internet_latency);
@@ -29,7 +65,41 @@ Testbed::Testbed(Options options) : options_(std::move(options)) {
     }
   }
 
+  if (sim_->sharded()) {
+    // Contiguous spatial strips: order nodes by (x, y, index), slice into
+    // equal-size runs, one region lane per slice. A node's *initial*
+    // position fixes its home lane for the whole run (mobile nodes keep
+    // their lane; the barrier position snapshot keeps deliveries exact as
+    // they roam). The assignment depends only on scenario content, so it
+    // is identical for every thread count.
+    const std::uint32_t regions = sim_->lane_count() - 1;
+    std::vector<std::size_t> order(options_.nodes);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const net::Position& pa = positions[a];
+      const net::Position& pb = positions[b];
+      if (pa.x != pb.x) return pa.x < pb.x;
+      if (pa.y != pb.y) return pa.y < pb.y;
+      return a < b;
+    });
+    node_lanes_.assign(options_.nodes, 0);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      node_lanes_[order[rank]] = 1 + static_cast<std::uint32_t>(
+                                         rank * regions / order.size());
+    }
+    medium_->configure_lanes([this](net::NodeId mac) {
+      // MANET radios use the node index as MAC; anything else (Internet
+      // hosts) belongs to the scenario lane.
+      return mac < node_lanes_.size() ? node_lanes_[mac] : 0u;
+    });
+  }
+
   for (std::size_t i = 0; i < options_.nodes; ++i) {
+    // Each node is built on its home lane: its host RNG forks from the
+    // lane stream, its timers/events queue on the lane, its instruments
+    // register in the lane's metrics registry.
+    sim::Simulator::LaneScope lane_scope(*sim_, node_lane(i));
+    SimContext::Bind lane_bind(sim_->ctx());
     auto host = std::make_unique<net::Host>(
         *sim_, static_cast<net::NodeId>(i), "n" + std::to_string(i));
     std::shared_ptr<net::MobilityModel> mobility;
@@ -41,10 +111,8 @@ Testbed::Testbed(Options options) : options_(std::move(options)) {
     }
     host->attach_radio(*medium_, manet_address(i), std::move(mobility));
 
-    NodeStackConfig stack_config = options_.stack;
-    stack_config.routing = options_.routing;
     stacks_.push_back(std::make_unique<NodeStack>(*host, internet_.get(),
-                                                  stack_config));
+                                                  node_stack_config()));
     hosts_.push_back(std::move(host));
   }
 }
@@ -55,14 +123,20 @@ Testbed::~Testbed() {
   for (auto& stack : stacks_) {
     if (stack) stack->stop();
   }
+  // Backstop for callers that read the main registry after the testbed is
+  // gone; a no-op when finalize_metrics() already ran.
+  sim_->merge_lane_metrics();
 }
 
 void Testbed::start() {
   if (started_) return;
   started_ = true;
   SimContext::Bind bind(sim_->ctx());
-  for (auto& stack : stacks_) {
-    if (stack) stack->start();
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    if (!stacks_[i]) continue;
+    sim::Simulator::LaneScope lane_scope(*sim_, node_lane(i));
+    SimContext::Bind lane_bind(sim_->ctx());
+    stacks_[i]->start();
   }
 }
 
@@ -77,6 +151,7 @@ voip::SoftPhone& Testbed::add_phone(std::size_t node,
 
 voip::SoftPhone& Testbed::add_phone(std::size_t node,
                                     voip::SoftPhoneConfig config) {
+  sim::Simulator::LaneScope lane_scope(*sim_, node_lane(node));
   SimContext::Bind bind(sim_->ctx());
   phones_.push_back(
       std::make_unique<voip::SoftPhone>(host(node), std::move(config)));
@@ -86,6 +161,7 @@ voip::SoftPhone& Testbed::add_phone(std::size_t node,
 
 void Testbed::crash_node(std::size_t i) {
   if (!node_alive(i)) return;
+  sim::Simulator::LaneScope lane_scope(*sim_, node_lane(i));
   SimContext::Bind bind(sim_->ctx());
   // Radio off before teardown: the dying stack's parting messages (tunnel
   // Disconnects, routing errors) must vanish, like a battery being pulled.
@@ -99,12 +175,14 @@ void Testbed::crash_node(std::size_t i) {
 
 void Testbed::restart_node(std::size_t i) {
   if (node_alive(i)) return;
+  // Rebuild on the node's home lane (a no-op scope when unsharded): the
+  // fresh stack's timers and instruments must live with its region even
+  // when the restart is driven from a scenario-lane chaos event.
+  sim::Simulator::LaneScope lane_scope(*sim_, node_lane(i));
   SimContext::Bind bind(sim_->ctx());
   medium_->set_enabled(static_cast<net::NodeId>(i), true);
-  NodeStackConfig stack_config = options_.stack;
-  stack_config.routing = options_.routing;
   stacks_[i] = std::make_unique<NodeStack>(*hosts_[i], internet_.get(),
-                                           stack_config);
+                                           node_stack_config());
   if (started_) stacks_[i]->start();
   for (std::size_t k = 0; k < phones_.size(); ++k) {
     if (phone_nodes_[k] == i) phones_[k]->power_on();
@@ -128,7 +206,12 @@ bool Testbed::register_and_wait(voip::SoftPhone& phone, Duration max_wait) {
     if (chained) chained(ok, status);
   };
   phone.set_events(std::move(events));
-  phone.power_on();
+  {
+    // Registration timers and REGISTER transmission start on the phone's
+    // home lane.
+    sim::Simulator::LaneScope lane_scope(*sim_, lane_of_phone(phone));
+    phone.power_on();
+  }
   const TimePoint deadline = sim_->now() + max_wait;
   while (!outcome->done && sim_->now() < deadline) {
     sim_->run_for(milliseconds(10));
@@ -165,7 +248,10 @@ Testbed::CallResult Testbed::call_and_wait(voip::SoftPhone& caller,
 
   CallResult result;
   const TimePoint started = sim_->now();
-  result.call = caller.dial(target);
+  {
+    sim::Simulator::LaneScope lane_scope(*sim_, lane_of_phone(caller));
+    result.call = caller.dial(target);
+  }
   const TimePoint deadline = started + max_wait;
   while (!outcome->done && sim_->now() < deadline) {
     sim_->run_for(milliseconds(1));

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/context.hpp"
+#include "routing/route_hub.hpp"
 #include "siphoc/node_stack.hpp"
 #include "sip/outbound_proxy.hpp"
 #include "sip/registrar.hpp"
@@ -38,6 +39,18 @@ struct Options {
   net::RandomWaypointConfig waypoint;
   NodeStackConfig stack;  // template; its routing field is overridden
   Duration internet_latency = milliseconds(20);
+
+  // --- intra-simulation parallelism (docs/ARCHITECTURE.md) --------------
+  /// Number of spatial regions to shard the simulation into. This is
+  /// simulation *content*: any value >= 1 switches the kernel to parallel
+  /// mode (region lanes, derived per-lane RNG streams, batched route
+  /// recalculation), so results depend on it -- like `seed` or `nodes`.
+  /// 0 keeps the classic sequential kernel. 1 enables the parallel hot
+  /// loops (route-recalc batching, delivery prefilter) without sharding.
+  std::uint32_t sim_regions = 0;
+  /// Worker threads executing the simulation. Pure execution policy:
+  /// results are byte-identical for any value (asserted by ctest).
+  unsigned sim_threads = 1;
 };
 
 class Testbed {
@@ -50,6 +63,19 @@ class Testbed {
 
   sim::Simulator& sim() { return *sim_; }
   SimContext& ctx() { return sim_->ctx(); }
+
+  /// Home lane of node i: 0 when unsharded, 1 + its region otherwise.
+  std::uint32_t node_lane(std::size_t i) const {
+    return node_lanes_.empty() ? 0 : node_lanes_.at(i);
+  }
+  /// Folds every region lane's metrics into the main context (one-shot,
+  /// lane order). Call after the last run_for and before exporting
+  /// metrics; the destructor calls it as a backstop.
+  void finalize_metrics() { sim_->merge_lane_metrics(); }
+  /// The route-recalc batching hub (parallel mode with sim_regions <= 1;
+  /// null otherwise). Exposed for bench/test introspection.
+  routing::ParallelRouteHub* route_hub() { return route_hub_.get(); }
+
   net::RadioMedium& medium() { return *medium_; }
   net::Internet& internet() { return *internet_; }
   std::size_t size() const { return hosts_.size(); }
@@ -139,8 +165,13 @@ class Testbed {
   net::Host& add_internet_host(const std::string& name);
 
  private:
+  NodeStackConfig node_stack_config() const;
+  std::uint32_t lane_of_phone(const voip::SoftPhone& phone) const;
+
   Options options_;
   std::unique_ptr<sim::Simulator> sim_;
+  std::vector<std::uint32_t> node_lanes_;  // node index -> home lane
+  std::unique_ptr<routing::ParallelRouteHub> route_hub_;
   std::unique_ptr<net::RadioMedium> medium_;
   std::unique_ptr<net::Internet> internet_;
   std::vector<std::unique_ptr<net::Host>> hosts_;

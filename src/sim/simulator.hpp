@@ -1,11 +1,11 @@
 // Discrete-event simulation kernel.
 //
 // This is the substitute for the paper's physical testbed (10 laptops +
-// iPAQ handhelds on 802.11 ad hoc): a single-threaded event loop over
-// virtual time. Everything above it -- radio medium, routing daemons, SIP
-// transactions, RTP streams -- is driven purely by scheduled callbacks, so
-// a whole multihop call setup runs deterministically in microseconds of
-// wall time and can be replayed from a seed.
+// iPAQ handhelds on 802.11 ad hoc): an event loop over virtual time.
+// Everything above it -- radio medium, routing daemons, SIP transactions,
+// RTP streams -- is driven purely by scheduled callbacks, so a whole
+// multihop call setup runs deterministically in microseconds of wall time
+// and can be replayed from a seed.
 //
 // Hot-path design (see docs/PERFORMANCE.md): event closures live in a
 // slab-allocated pool of records that are recycled through a free list, so
@@ -13,6 +13,17 @@
 // what the closure itself captures. The priority queue orders small POD
 // entries (when, seq, slot); cancellation is a generation-checked slot
 // handle instead of a shared_ptr<bool> per event.
+//
+// Sharded mode (docs/ARCHITECTURE.md, "Region sharding"): the kernel can
+// be partitioned into *lanes* -- one scenario lane (lane 0) plus one lane
+// per spatial region -- each with its own event queue, RNG stream,
+// sequence counter and metrics context. Lanes execute concurrently inside
+// a conservative lookahead window (the per-hop MAC latency: no cross-node
+// interaction can take effect sooner), exchange cross-lane events at the
+// barrier between windows, and serialize any window that contains a
+// scenario-lane event. Results are byte-identical for any `threads` value
+// because every source of ordering (per-lane queues, per-lane RNG, barrier
+// drain order) is independent of which OS thread ran which lane.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,8 @@
 #include "common/time.hpp"
 
 namespace siphoc::sim {
+
+class WorkerPool;
 
 namespace detail {
 
@@ -44,7 +57,7 @@ struct EventRecord {
 
 /// The slab. Shared with handles via weak_ptr so a handle outliving its
 /// Simulator degrades to an inert no-op exactly like the old weak_ptr<bool>
-/// scheme did.
+/// scheme did. Sharded simulators keep one pool per lane.
 struct EventPool {
   std::vector<EventRecord> records;
   std::uint32_t free_head = kInvalidSlot;
@@ -117,15 +130,96 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  TimePoint now() const { return now_; }
-  Rng& rng() { return rng_; }
-  SimContext& ctx() { return *ctx_; }
+  /// Current virtual time of the calling lane (lane 0 outside execution;
+  /// between run calls all lanes agree).
+  TimePoint now() const;
+  /// RNG stream of the calling lane. Sharded simulations give every region
+  /// lane its own derived stream, so draw sequences are independent of
+  /// thread count.
+  Rng& rng();
+  /// Context of the calling lane: the main context on lane 0, a per-lane
+  /// child context on region lanes (merged via merge_lane_metrics()).
+  SimContext& ctx();
 
-  /// Schedules `fn` to run `delay` from now. Returns a cancellation handle.
+  // --- sharding ----------------------------------------------------------
+  /// Conservative-parallel configuration. `regions` is part of the
+  /// *simulation content* (it fixes RNG stream assignment and event
+  /// interleavings); `threads` is pure execution policy and never affects
+  /// results. `lookahead` must be a lower bound on every cross-lane
+  /// interaction latency (the radio MAC latency in this codebase).
+  struct ShardConfig {
+    std::uint32_t regions = 1;
+    Duration lookahead = microseconds(500);
+    unsigned threads = 1;
+  };
+
+  /// Switches the kernel into parallel mode. Must be called before any
+  /// event is scheduled. With regions == 1 no lanes are added (the classic
+  /// sequential loop runs), but the worker pool becomes available to
+  /// parallel_for() hot loops.
+  void enable_parallelism(const ShardConfig& config);
+
+  bool sharded() const { return lanes_.size() > 1; }
+  bool parallel_enabled() const { return pool_ != nullptr; }
+  std::uint32_t lane_count() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+  /// Lane the calling thread is executing/scoped on (0 when none).
+  std::uint32_t current_lane() const;
+  /// True while the calling thread is inside a concurrent lane window (in
+  /// which case helpers must not fan out nested parallel work).
+  bool in_parallel_window() const;
+
+  /// RAII: routes schedule()/rng()/ctx() on this thread to `lane` -- used
+  /// by the testbed to construct and drive each node on its home lane so
+  /// the node's timers, RNG draws and metrics live with its region.
+  class LaneScope {
+   public:
+    LaneScope(Simulator& sim, std::uint32_t lane);
+    ~LaneScope();
+    LaneScope(const LaneScope&) = delete;
+    LaneScope& operator=(const LaneScope&) = delete;
+
+   private:
+    Simulator* prev_sim_;
+    std::uint32_t prev_lane_;
+    bool prev_in_window_;
+  };
+
+  /// Runs `fn(i)` for i in [0, n) on the worker pool (inline when the pool
+  /// is absent, single-threaded, or the caller is already inside a lane
+  /// window). Tasks must be independent and results must not depend on
+  /// execution order -- callers keep determinism by writing to disjoint
+  /// slots and reducing sequentially afterwards.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Called after every lookahead window (and once before the first), with
+  /// all lanes quiescent: the radio medium uses it to rebuild its spatial
+  /// index and refresh the mobile-position cache that in-window delivery
+  /// decisions read.
+  void set_epoch_hook(std::function<void()> hook) { epoch_hook_ = std::move(hook); }
+
+  /// One-shot: folds every region lane's child metrics registry into the
+  /// main context, in lane order (deterministic). Call after the last run_*
+  /// and before exporting metrics; the testbed destructor calls it too.
+  void merge_lane_metrics();
+
+  // --- scheduling --------------------------------------------------------
+  /// Schedules `fn` to run `delay` from now on the calling lane. Returns a
+  /// cancellation handle.
   EventHandle schedule(Duration delay, std::function<void()> fn);
 
-  /// Schedules at an absolute virtual time (must not be in the past).
+  /// Schedules at an absolute virtual time (must not be in the past) on the
+  /// calling lane.
   EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedules onto an explicit lane (the radio medium targets a frame's
+  /// receiving region; the Internet segment targets lane 0). From inside a
+  /// concurrent window a cross-lane event travels through the source
+  /// lane's outbox and is enqueued at the next barrier, in which case the
+  /// returned handle is inert (cross-lane deliveries are never cancelled).
+  EventHandle schedule_on(std::uint32_t lane, Duration delay,
+                          std::function<void()> fn);
 
   /// Runs until the event queue drains or `until` is reached, whichever is
   /// first. Time advances to `until` even if the queue drains earlier, so
@@ -133,14 +227,21 @@ class Simulator {
   void run_until(TimePoint until);
 
   /// Convenience: advance by a relative amount.
-  void run_for(Duration d) { run_until(now_ + d); }
+  void run_for(Duration d) { run_until(lanes_[0].now + d); }
 
   /// Runs until the queue is completely empty (use with care: periodic
   /// timers never drain).
   void run_to_completion();
 
-  /// Number of events executed so far (sanity metric for benches).
-  std::uint64_t events_executed() const { return events_executed_; }
+  /// Number of events executed so far, summed over lanes (sanity metric
+  /// for benches).
+  std::uint64_t events_executed() const;
+
+  /// Window accounting (sharded runs only): how many lookahead windows
+  /// executed, and how many of those the serial-window rule forced
+  /// sequential (docs/ARCHITECTURE.md). Surfaced by bench_cityscale rows.
+  std::uint64_t windows_run() const { return windows_run_; }
+  std::uint64_t windows_serialized() const { return windows_serialized_; }
 
  private:
   /// What the priority queue orders: 24 trivially-copyable bytes. The
@@ -156,15 +257,50 @@ class Simulator {
     }
   };
 
-  bool step(TimePoint limit);
+  /// A cross-lane event parked in its source lane's outbox until the
+  /// barrier (drained in source-lane order, preserving per-source FIFO,
+  /// so enqueue order is thread-count independent).
+  struct OutboxEntry {
+    std::uint32_t target;
+    TimePoint when;
+    std::function<void()> fn;
+  };
+
+  struct Lane {
+    explicit Lane(std::uint64_t rng_seed)
+        : pool(std::make_shared<detail::EventPool>()), rng(rng_seed) {}
+    std::shared_ptr<detail::EventPool> pool;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue;
+    TimePoint now{};
+    std::uint64_t next_seq = 0;
+    std::uint64_t events_executed = 0;
+    Rng rng;
+    std::unique_ptr<SimContext> ctx;  // region lanes only; lane 0 uses ctx_
+    std::vector<OutboxEntry> outbox;
+  };
+
+  EventHandle push_event(Lane& lane, TimePoint when, std::function<void()> fn);
+  bool step(TimePoint limit);  // classic sequential loop over lane 0
+  void run_until_sharded(TimePoint until);
+  void run_lane_window(std::uint32_t lane_index, TimePoint wend,
+                       TimePoint until);
+  void exec_top(std::uint32_t lane_index);
+  void prune_cancelled(Lane& lane);
+  void drain_outboxes();
+  SimContext& lane_context(std::uint32_t lane_index) {
+    Lane& lane = lanes_[lane_index];
+    return lane.ctx ? *lane.ctx : *ctx_;
+  }
 
   SimContext* ctx_;
-  TimePoint now_{};
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t events_executed_ = 0;
-  std::shared_ptr<detail::EventPool> pool_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
-  Rng rng_;
+  std::uint64_t seed_;
+  std::vector<Lane> lanes_;  // lane 0 always exists
+  Duration lookahead_{microseconds(500)};
+  std::unique_ptr<WorkerPool> pool_;
+  std::function<void()> epoch_hook_;
+  std::uint64_t windows_run_ = 0;
+  std::uint64_t windows_serialized_ = 0;
+  bool lanes_merged_ = false;
 };
 
 /// Repeating timer built on the kernel: reschedules itself until stopped.

@@ -1,0 +1,157 @@
+// docs_check: enforce the tooling doc contract (sibling of metrics_check).
+//
+// The docs describe a concrete set of runnable binaries and command-line
+// flags; this tool fails CI when code grows a surface the docs never
+// mention -- the drift this repo's doc set has repeatedly accumulated
+// (bench flags missing from PERFORMANCE.md, benches missing from the
+// catalog table).
+//
+//   docs_check benches <bench-dir> <doc.md> [more docs...]
+//       Every bench_*.cpp in <bench-dir> defines a binary; its name must
+//       appear in at least one of the given docs.
+//
+//   docs_check flags <source-file> <doc.md> [more docs...]
+//       Scans the source for command-line flag string literals (a whole
+//       literal of the form --word[-word...]) and reports every flag not
+//       mentioned in any of the given docs. Run against the tools that
+//       parse argv: examples/scenario_runner.cpp, bench/bench_table.hpp.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "docs_check: cannot open %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string read_docs(int argc, char** argv, int first) {
+  std::string all;
+  for (int i = first; i < argc; ++i) {
+    all += read_file(argv[i]);
+    all += '\n';
+  }
+  return all;
+}
+
+/// A string literal is a flag when the whole literal is "--word" with
+/// lowercase words separated by single dashes ("--sim-threads"). Literals
+/// that merely *contain* a flag ("--chaos: unknown parameter") are prose,
+/// not surface, and are skipped.
+bool is_flag_literal(const std::string& s) {
+  if (s.size() < 3 || s.compare(0, 2, "--") != 0) return false;
+  bool last_dash = true;  // no leading dash after the "--"
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '-') {
+      if (last_dash) return false;
+      last_dash = true;
+    } else if (std::islower(static_cast<unsigned char>(c)) != 0) {
+      last_dash = false;
+    } else {
+      return false;
+    }
+  }
+  return !last_dash;
+}
+
+std::set<std::string> flag_literals(const std::string& text) {
+  std::set<std::string> flags;
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string literal = text.substr(pos + 1, end - pos - 1);
+    if (is_flag_literal(literal)) flags.insert(literal);
+    pos = end + 1;
+  }
+  return flags;
+}
+
+int run_flags_mode(const fs::path& source, int argc, char** argv, int first) {
+  const std::string docs = read_docs(argc, argv, first);
+  const auto flags = flag_literals(read_file(source));
+  if (flags.empty()) {
+    std::fprintf(stderr, "docs_check: no flag literals found in %s\n",
+                 source.string().c_str());
+    return 2;
+  }
+  int bad = 0;
+  for (const auto& flag : flags) {
+    if (docs.find(flag) == std::string::npos) {
+      std::fprintf(stderr, "UNDOCUMENTED flag %s (parsed by %s)\n",
+                   flag.c_str(), source.string().c_str());
+      ++bad;
+    }
+  }
+  std::printf("docs_check flags: %zu flags in %s, %d undocumented\n",
+              flags.size(), source.filename().string().c_str(), bad);
+  return bad == 0 ? 0 : 1;
+}
+
+int run_benches_mode(const fs::path& bench_dir, int argc, char** argv,
+                     int first) {
+  const std::string docs = read_docs(argc, argv, first);
+  int bad = 0;
+  std::size_t benches = 0;
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(bench_dir)) {
+    if (entry.is_regular_file()) entries.push_back(entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& path : entries) {
+    const std::string stem = path.stem().string();
+    if (path.extension() != ".cpp" || stem.compare(0, 6, "bench_") != 0) {
+      continue;
+    }
+    ++benches;
+    if (docs.find(stem) == std::string::npos) {
+      std::fprintf(stderr,
+                   "UNDOCUMENTED bench %s (%s exists but no doc mentions "
+                   "the binary)\n",
+                   stem.c_str(), path.string().c_str());
+      ++bad;
+    }
+  }
+  if (benches == 0) {
+    std::fprintf(stderr, "docs_check: no bench_*.cpp under %s\n",
+                 bench_dir.string().c_str());
+    return 2;
+  }
+  std::printf("docs_check benches: %zu benches, %d undocumented\n", benches,
+              bad);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(
+        stderr,
+        "usage: docs_check benches <bench-dir>   <doc.md> [more docs...]\n"
+        "       docs_check flags   <source-file> <doc.md> [more docs...]\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "benches") return run_benches_mode(argv[2], argc, argv, 3);
+  if (mode == "flags") return run_flags_mode(argv[2], argc, argv, 3);
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 2;
+}
