@@ -41,7 +41,12 @@
 //                                                    results like seed does;
 //                                                    disables live tracing)
 //   gateway NODE                                  -- wired uplink on a node
-//   provider DOMAIN                               -- Internet SIP provider
+//   provider DOMAIN [p2p N | shards N]            -- Internet SIP provider;
+//                                                    `p2p N` resolves through
+//                                                    a Chord-lite ring of N
+//                                                    extra nodes, `shards N`
+//                                                    uses the N-shard binding
+//                                                    store
 //   phone NODE USER DOMAIN                        -- out-of-the-box phone
 //   settle SECONDS                                -- let protocols converge
 //   register USER                                 -- power on + REGISTER
@@ -248,7 +253,19 @@ struct Runner {
       ensure_bed();
       std::string domain;
       is >> domain;
-      bed->add_provider(domain);
+      scenario::Testbed::ProviderOptions opts;
+      std::string backend;
+      if (is >> backend) {
+        std::size_t n = 0;
+        is >> n;
+        if (backend == "p2p") {
+          opts.resolution = scenario::Testbed::Resolution::kP2p;
+          if (n > 0) opts.p2p_nodes = n;
+        } else if (backend == "shards") {
+          opts.store_shards = n;
+        }
+      }
+      bed->add_provider(domain, opts);
     } else if (cmd == "phone") {
       ensure_bed();
       std::size_t node = 0;

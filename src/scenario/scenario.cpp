@@ -272,12 +272,20 @@ void Testbed::make_gateway(std::size_t node) {
 
 sip::Registrar& Testbed::add_provider(const std::string& domain,
                                       bool require_outbound_proxy) {
+  ProviderOptions options;
+  options.require_outbound_proxy = require_outbound_proxy;
+  return add_provider(domain, options);
+}
+
+sip::Registrar& Testbed::add_provider(const std::string& domain,
+                                      const ProviderOptions& options) {
   SimContext::Bind bind(sim_->ctx());
   net::Host& server = add_internet_host("provider-" + domain);
   sip::RegistrarConfig config;
   config.domain = domain;
-  config.require_outbound_proxy = require_outbound_proxy;
-  if (require_outbound_proxy) {
+  config.require_outbound_proxy = options.require_outbound_proxy;
+  config.store_shards = options.store_shards;
+  if (options.require_outbound_proxy) {
     // The provider's own outbound proxy is a real box at an address DNS
     // does not reveal -- the polyphone.ethz.ch situation. Clients (or a
     // provisioned SIPHoc proxy) must relay through it.
@@ -292,7 +300,37 @@ sip::Registrar& Testbed::add_provider(const std::string& domain,
   internet_->register_domain(domain, server.wired_address());
   providers_.push_back(
       std::make_unique<sip::Registrar>(server, std::move(config)));
-  return *providers_.back();
+  sip::Registrar& registrar = *providers_.back();
+
+  if (options.resolution == Resolution::kP2p) {
+    // The ring: one resolver on the front door plus `p2p_nodes` dedicated
+    // Internet boxes. Membership is wired up-front (Chord-lite; no
+    // stabilization protocol), then the registrar delegates storage and
+    // resolution to its ring node.
+    std::vector<sip::P2pResolver*> ring;
+    ring.push_back(new sip::P2pResolver(server));
+    p2p_resolvers_.emplace_back(ring.back());
+    for (std::size_t i = 0; i < options.p2p_nodes; ++i) {
+      net::Host& node = add_internet_host("ring-" + domain + "-" +
+                                          std::to_string(i));
+      ring.push_back(new sip::P2pResolver(node));
+      p2p_resolvers_.emplace_back(ring.back());
+    }
+    std::vector<net::Endpoint> members;
+    members.reserve(ring.size());
+    for (const auto* r : ring) members.push_back(r->endpoint());
+    for (auto* r : ring) r->join(members);
+    registrar.set_p2p_resolver(ring.front());
+    p2p_rings_[domain] = std::move(ring);
+  }
+  return registrar;
+}
+
+std::vector<sip::P2pResolver*> Testbed::p2p_ring(
+    const std::string& domain) const {
+  const auto it = p2p_rings_.find(domain);
+  return it != p2p_rings_.end() ? it->second
+                                : std::vector<sip::P2pResolver*>{};
 }
 
 std::optional<net::Endpoint> Testbed::provider_outbound_proxy(

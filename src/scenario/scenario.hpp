@@ -16,6 +16,7 @@
 #include "routing/route_hub.hpp"
 #include "siphoc/node_stack.hpp"
 #include "sip/outbound_proxy.hpp"
+#include "sip/p2p_resolver.hpp"
 #include "sip/registrar.hpp"
 #include "voip/softphone.hpp"
 
@@ -147,6 +148,22 @@ class Testbed {
   /// (its Gateway Provider will start serving within one advertise period).
   void make_gateway(std::size_t node);
 
+  /// How a provider resolves contacts: the central registrar store, or a
+  /// Chord-lite P2P ring of Internet nodes (sip/p2p_resolver.hpp).
+  enum class Resolution { kRegistrar, kP2p };
+
+  struct ProviderOptions {
+    bool require_outbound_proxy = false;
+    /// Registrar binding backend: 0 = sequential single map, >= 1 =
+    /// ShardedBindingStore with that many shards.
+    std::size_t store_shards = 0;
+    Resolution resolution = Resolution::kRegistrar;
+    /// Ring nodes spawned *besides* the provider front door when
+    /// `resolution == kP2p` (front door included, the ring has
+    /// p2p_nodes + 1 members).
+    std::size_t p2p_nodes = 4;
+  };
+
   /// Spawns a SIP provider (registrar + domain proxy) on the Internet
   /// segment and registers its domain in DNS. With
   /// `require_outbound_proxy`, the provider only accepts requests relayed
@@ -154,6 +171,14 @@ class Testbed {
   /// polyphone.ethz.ch situation of paper §3.2.
   sip::Registrar& add_provider(const std::string& domain,
                                bool require_outbound_proxy = false);
+  /// Full-options form: store backend selection and P2P ring resolution
+  /// (EXPERIMENTS.md E11 compares the two call-setup paths).
+  sip::Registrar& add_provider(const std::string& domain,
+                               const ProviderOptions& options);
+
+  /// The P2P ring serving a kP2p provider's domain (front door first);
+  /// empty for registrar-backed providers.
+  std::vector<sip::P2pResolver*> p2p_ring(const std::string& domain) const;
 
   /// The endpoint of a provider's dedicated outbound proxy (only for
   /// providers created with require_outbound_proxy). Feed this into
@@ -180,6 +205,8 @@ class Testbed {
   std::vector<std::size_t> phone_nodes_;  // phones_[k] lives on node phone_nodes_[k]
   std::vector<std::unique_ptr<net::Host>> internet_hosts_;
   std::vector<std::unique_ptr<sip::Registrar>> providers_;
+  std::vector<std::unique_ptr<sip::P2pResolver>> p2p_resolvers_;
+  std::map<std::string, std::vector<sip::P2pResolver*>> p2p_rings_;
   std::vector<std::unique_ptr<sip::OutboundProxy>> provider_proxies_;
   std::map<std::string, net::Endpoint> provider_proxy_endpoints_;
   std::uint32_t next_internet_octet_ = 10;

@@ -32,6 +32,7 @@ Result<DigestChallenge> DigestChallenge::parse(std::string_view header) {
   DigestChallenge c;
   c.realm = (*params)["realm"];
   c.nonce = (*params)["nonce"];
+  c.stale = to_lower((*params)["stale"]) == "true";
   if (c.realm.empty() || c.nonce.empty()) {
     return fail("auth: challenge missing realm/nonce");
   }
@@ -40,7 +41,7 @@ Result<DigestChallenge> DigestChallenge::parse(std::string_view header) {
 
 std::string DigestChallenge::to_string() const {
   return "Digest realm=\"" + realm + "\", nonce=\"" + nonce +
-         "\", algorithm=MD5";
+         (stale ? "\", stale=true, algorithm=MD5" : "\", algorithm=MD5");
 }
 
 Result<DigestAuthorization> DigestAuthorization::parse(

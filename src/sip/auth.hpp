@@ -18,6 +18,10 @@ namespace siphoc::sip {
 struct DigestChallenge {
   std::string realm;
   std::string nonce;
+  /// RFC 2617 §3.2.1: the previous nonce expired but the digest itself
+  /// was acceptable -- the client may retry with the new nonce without
+  /// re-prompting for credentials.
+  bool stale = false;
 
   static Result<DigestChallenge> parse(std::string_view header);
   std::string to_string() const;

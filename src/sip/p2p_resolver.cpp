@@ -1,0 +1,342 @@
+#include "sip/p2p_resolver.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/bytes.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
+
+namespace siphoc::sip {
+
+namespace {
+
+/// Ring-hop count buckets: diameters stay in the single digits for any
+/// ring this testbed builds, 16+ means the finger tables are broken.
+constexpr double kHopBuckets[] = {1, 2, 3, 4, 6, 8, 12, 16};
+
+/// Clockwise ring distance from `a` to `b` (unsigned wraparound).
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b) { return b - a; }
+
+std::uint64_t parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
+
+/// Splits one protocol line on single spaces.
+std::vector<std::string_view> fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+P2pResolver::P2pResolver(net::Host& host, P2pConfig config)
+    : host_(host),
+      config_(config),
+      log_("p2p", host.name()),
+      node_id_(id_of({host.wired_address(), config.port})) {
+  host_.bind(config_.port, [this](const net::Datagram& d, const net::RxInfo&) {
+    on_datagram(d);
+  });
+  // Replicated records expire like any binding; sweep them on a coarse
+  // cadence (no jitter: determinism).
+  gc_.start(host_.sim(), seconds(5),
+            [this] { records_.purge_expired(host_.sim().now()); });
+}
+
+P2pResolver::~P2pResolver() {
+  gc_.stop();
+  host_.unbind(config_.port);
+}
+
+net::Endpoint P2pResolver::endpoint() const {
+  return {host_.wired_address(), config_.port};
+}
+
+std::uint64_t P2pResolver::id_of(net::Endpoint endpoint) {
+  return hash_aor(endpoint.to_string());
+}
+
+Counter& P2pResolver::counter(const std::string& name) {
+  return host_.sim().ctx().metrics().counter(name, host_.name(), "p2p");
+}
+
+void P2pResolver::join(const std::vector<net::Endpoint>& members) {
+  std::vector<RingNode> ring;
+  ring.reserve(members.size());
+  for (const auto& ep : members) ring.push_back({id_of(ep), ep});
+  std::sort(ring.begin(), ring.end());
+  ring.erase(std::unique(ring.begin(), ring.end(),
+                         [](const RingNode& a, const RingNode& b) {
+                           return a.id == b.id;
+                         }),
+             ring.end());
+
+  const auto self = std::find_if(
+      ring.begin(), ring.end(),
+      [this](const RingNode& n) { return n.id == node_id_; });
+  if (self == ring.end()) {
+    log_.warn("join(): own endpoint missing from membership");
+    return;
+  }
+  const std::size_t self_index =
+      static_cast<std::size_t>(self - ring.begin());
+  const std::size_t n = ring.size();
+
+  predecessor_id_ = ring[(self_index + n - 1) % n].id;
+
+  successors_.clear();
+  for (std::size_t k = 1; k <= config_.successor_count && k < n; ++k) {
+    successors_.push_back(ring[(self_index + k) % n]);
+  }
+
+  // Finger k = successor(node_id + 2^k) over the full membership. Dedup:
+  // small rings collapse most fingers onto the immediate successor.
+  fingers_.clear();
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    const std::uint64_t target = node_id_ + (1ull << k);
+    auto it = std::lower_bound(ring.begin(), ring.end(), RingNode{target, {}});
+    if (it == ring.end()) it = ring.begin();
+    if (it->id == node_id_) continue;
+    fingers_.push_back(*it);
+  }
+  std::sort(fingers_.begin(), fingers_.end());
+  fingers_.erase(std::unique(fingers_.begin(), fingers_.end(),
+                             [](const RingNode& a, const RingNode& b) {
+                               return a.id == b.id;
+                             }),
+                 fingers_.end());
+  log_.info("joined ring: ", n, " nodes, ", fingers_.size(), " fingers, ",
+            successors_.size(), " successors");
+}
+
+bool P2pResolver::responsible_for(std::uint64_t key) const {
+  if (predecessor_id_ == node_id_ || fingers_.empty()) return true;  // alone
+  // Arc (pred, self], allowing for wraparound.
+  return ring_distance(predecessor_id_, key) <=
+         ring_distance(predecessor_id_, node_id_);
+}
+
+const P2pResolver::RingNode* P2pResolver::next_hop(std::uint64_t key) const {
+  const std::uint64_t key_distance = ring_distance(node_id_, key);
+  const RingNode* best = nullptr;
+  std::uint64_t best_distance = 0;
+  for (const RingNode& finger : fingers_) {
+    const std::uint64_t d = ring_distance(node_id_, finger.id);
+    if (d != 0 && d <= key_distance && d >= best_distance) {
+      best = &finger;
+      best_distance = d;
+    }
+  }
+  if (best == nullptr && !successors_.empty()) best = &successors_.front();
+  return best;
+}
+
+void P2pResolver::send_line(net::Endpoint dst, const std::string& line) {
+  host_.send_udp(config_.port, dst, to_bytes(line));
+}
+
+void P2pResolver::store_record(const std::string& aor, const Uri& contact,
+                               TimePoint expires, bool replicate) {
+  records_.upsert(aor, contact, expires);
+  counter("p2p.records_stored_total").add();
+  host_.sim().ctx().metrics()
+      .gauge("p2p.records", host_.name(), "p2p")
+      .set(static_cast<double>(records_.size()));
+  if (!replicate) return;
+  const std::string line =
+      "REP " + aor + " " +
+      std::to_string(expires.time_since_epoch().count()) + " " +
+      contact.to_string();
+  for (const RingNode& succ : successors_) send_line(succ.endpoint, line);
+}
+
+void P2pResolver::publish(const std::string& aor, const Uri& contact,
+                          TimePoint expires) {
+  counter("p2p.puts_total").add();
+  const std::uint64_t key = hash_aor(aor);
+  if (responsible_for(key)) {
+    store_record(aor, contact, expires, /*replicate=*/true);
+    return;
+  }
+  const RingNode* hop = next_hop(key);
+  if (hop == nullptr) return;
+  send_line(hop->endpoint,
+            "PUT " + aor + " " +
+                std::to_string(expires.time_since_epoch().count()) + " " +
+                contact.to_string());
+}
+
+void P2pResolver::unpublish(const std::string& aor) {
+  const std::uint64_t key = hash_aor(aor);
+  if (responsible_for(key)) {
+    records_.erase(aor);
+    for (const RingNode& succ : successors_) {
+      send_line(succ.endpoint, "RDEL " + aor);
+    }
+    return;
+  }
+  if (const RingNode* hop = next_hop(key)) {
+    send_line(hop->endpoint, "DEL " + aor);
+  }
+}
+
+void P2pResolver::resolve(const std::string& aor, ResolveCallback callback) {
+  counter("p2p.lookups_total").add();
+  const std::uint64_t key = hash_aor(aor);
+  auto& metrics = host_.sim().ctx().metrics();
+  if (responsible_for(key)) {
+    // Zero-hop answer, still asynchronous so callers see one shape.
+    auto binding = records_.lookup(aor, host_.sim().now());
+    metrics.histogram("p2p.lookup_hops", kHopBuckets, host_.name(), "p2p")
+        .observe(0);
+    if (!binding) counter("p2p.misses_total").add();
+    host_.sim().schedule(Duration::zero(),
+                         [callback = std::move(callback),
+                          binding = std::move(binding)]() mutable {
+                           callback(std::move(binding), 0);
+                         });
+    return;
+  }
+
+  const std::uint64_t request = ++next_request_;
+  Pending pending;
+  pending.callback = std::move(callback);
+  pending.started = host_.sim().now();
+  pending.timeout =
+      host_.sim().schedule(config_.lookup_timeout, [this, request] {
+        const auto it = pending_.find(request);
+        if (it == pending_.end()) return;
+        auto cb = std::move(it->second.callback);
+        pending_.erase(it);
+        counter("p2p.timeouts_total").add();
+        cb(std::nullopt, -1);
+      });
+  pending_.emplace(request, std::move(pending));
+
+  const RingNode* hop = next_hop(key);
+  send_line(hop->endpoint, "GET " + std::to_string(request) + " " +
+                               endpoint().to_string() + " 1 " + aor);
+}
+
+void P2pResolver::on_datagram(const net::Datagram& datagram) {
+  const std::string line = to_string(datagram.payload);
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) return;
+  const std::string_view verb(line.data(), space);
+  const std::string_view rest(line.data() + space + 1,
+                              line.size() - space - 1);
+  if (verb == "PUT" || verb == "REP") {
+    const auto f = fields(rest);
+    if (f.size() < 3) return;
+    const std::string aor(f[0]);
+    const TimePoint expires{
+        Duration(static_cast<Duration::rep>(parse_u64(f[1])))};
+    const auto contact = Uri::parse(f[2]);
+    if (!contact) return;
+    if (verb == "REP") {
+      records_.upsert(aor, *contact, expires);
+      return;
+    }
+    const std::uint64_t key = hash_aor(aor);
+    if (responsible_for(key)) {
+      store_record(aor, *contact, expires, /*replicate=*/true);
+    } else if (const RingNode* hop = next_hop(key)) {
+      counter("p2p.forwards_total").add();
+      send_line(hop->endpoint, line);
+    }
+  } else if (verb == "GET") {
+    handle_get(rest);
+  } else if (verb == "RES") {
+    handle_result(rest);
+  } else if (verb == "DEL" || verb == "RDEL") {
+    const std::string aor(rest);
+    const std::uint64_t key = hash_aor(aor);
+    if (verb == "RDEL" || responsible_for(key)) {
+      records_.erase(aor);
+      if (verb == "DEL") {
+        for (const RingNode& succ : successors_) {
+          send_line(succ.endpoint, "RDEL " + aor);
+        }
+      }
+    } else if (const RingNode* hop = next_hop(key)) {
+      send_line(hop->endpoint, line);
+    }
+  }
+}
+
+void P2pResolver::handle_get(std::string_view rest) {
+  const auto f = fields(rest);
+  if (f.size() < 4) return;
+  const std::uint64_t request = parse_u64(f[0]);
+  const auto origin = net::Endpoint::parse(f[1]);
+  const int hops = static_cast<int>(parse_u64(f[2]));
+  const std::string aor(f[3]);
+  if (!origin) return;
+
+  const std::uint64_t key = hash_aor(aor);
+  if (!responsible_for(key)) {
+    if (const RingNode* hop = next_hop(key)) {
+      counter("p2p.forwards_total").add();
+      send_line(hop->endpoint, "GET " + std::to_string(request) + " " +
+                                   std::string(f[1]) + " " +
+                                   std::to_string(hops + 1) + " " + aor);
+    }
+    return;
+  }
+  const auto binding = records_.lookup(aor, host_.sim().now());
+  std::string reply = "RES " + std::to_string(request) + " " +
+                      std::to_string(hops) + " ";
+  if (binding) {
+    reply += "found " +
+             std::to_string(binding->expires.time_since_epoch().count()) +
+             " " + binding->contact.to_string();
+  } else {
+    reply += "miss";
+  }
+  send_line(*origin, reply);
+}
+
+void P2pResolver::handle_result(std::string_view rest) {
+  const auto f = fields(rest);
+  if (f.size() < 3) return;
+  const std::uint64_t request = parse_u64(f[0]);
+  const int hops = static_cast<int>(parse_u64(f[1]));
+  const auto it = pending_.find(request);
+  if (it == pending_.end()) return;  // late answer after timeout
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  pending.timeout.cancel();
+
+  auto& metrics = host_.sim().ctx().metrics();
+  metrics.histogram("p2p.lookup_hops", kHopBuckets, host_.name(), "p2p")
+      .observe(hops);
+  metrics
+      .histogram("p2p.resolve_ms", kLatencyBucketsMs, host_.name(), "p2p")
+      .observe(to_millis(host_.sim().now() - pending.started));
+
+  std::optional<ContactBinding> binding;
+  if (f[2] == "found" && f.size() >= 5) {
+    const TimePoint expires{
+        Duration(static_cast<Duration::rep>(parse_u64(f[3])))};
+    if (const auto contact = Uri::parse(f[4])) {
+      binding = ContactBinding{*contact, expires};
+    }
+  }
+  if (!binding) counter("p2p.misses_total").add();
+  pending.callback(std::move(binding), hops);
+}
+
+}  // namespace siphoc::sip

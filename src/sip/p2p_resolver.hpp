@@ -1,0 +1,117 @@
+// Serverless contact resolution: a Chord-lite DHT ring among gateway /
+// Internet nodes, in the spirit of the IAX-based P2P VoIP architecture
+// (PAPERS.md). Instead of one provider registrar owning every binding,
+// each AOR hashes onto the same 64-bit ring the sharded store uses
+// (hash_aor), and the node whose id succeeds the key stores the binding
+// (replicated to `successor_count` successors). Lookups hop greedily
+// through finger tables -- O(log n) hops, each paying one wired RTT -- so
+// gateway-centric vs P2P call-setup cost becomes a measurable tradeoff
+// (EXPERIMENTS.md E11) rather than prose.
+//
+// "Lite": ring membership is wired up-front by the testbed from the full
+// node set (join()), not discovered through Chord's stabilization
+// protocol; this keeps the emulation deterministic while preserving the
+// measured quantities (hops, per-hop latency, storage spread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "sip/registrar_store.hpp"
+
+namespace siphoc::sip {
+
+struct P2pConfig {
+  std::uint16_t port = 5070;
+  /// Bindings are replicated to this many ring successors of the
+  /// responsible node, so a node loss does not lose the binding.
+  std::size_t successor_count = 2;
+  Duration lookup_timeout = seconds(2);
+};
+
+class P2pResolver {
+ public:
+  P2pResolver(net::Host& host, P2pConfig config = {});
+  ~P2pResolver();
+
+  P2pResolver(const P2pResolver&) = delete;
+  P2pResolver& operator=(const P2pResolver&) = delete;
+
+  /// This node's position on the hash ring (derived from its endpoint).
+  std::uint64_t node_id() const { return node_id_; }
+  net::Endpoint endpoint() const;
+
+  /// Installs ring state: `members` is every ring node's endpoint (self
+  /// included). Finger table and successor list are computed from the
+  /// sorted membership -- the Chord-lite substitute for stabilization.
+  void join(const std::vector<net::Endpoint>& members);
+
+  /// Stores aor -> contact at the responsible node (routed through the
+  /// ring from here, hop by hop).
+  void publish(const std::string& aor, const Uri& contact, TimePoint expires);
+  void unpublish(const std::string& aor);
+
+  /// Resolves an AOR through the ring. The callback receives the binding
+  /// (or nullopt on miss/timeout) and the number of ring hops the query
+  /// travelled.
+  using ResolveCallback =
+      std::function<void(std::optional<ContactBinding>, int hops)>;
+  void resolve(const std::string& aor, ResolveCallback callback);
+
+  /// Bindings this node is responsible for (replicas included).
+  std::size_t stored_records() const { return records_.size(); }
+  /// The ring id an AOR hashes to (== hash_aor; test introspection).
+  static std::uint64_t key_of(const std::string& aor) {
+    return hash_aor(aor);
+  }
+
+ private:
+  struct RingNode {
+    std::uint64_t id;
+    net::Endpoint endpoint;
+    bool operator<(const RingNode& other) const { return id < other.id; }
+  };
+  struct Pending {
+    ResolveCallback callback;
+    sim::EventHandle timeout;
+    TimePoint started{};
+  };
+
+  static std::uint64_t id_of(net::Endpoint endpoint);
+
+  void on_datagram(const net::Datagram& datagram);
+  void handle_put(std::string_view rest);
+  void handle_get(std::string_view rest);
+  void handle_result(std::string_view rest);
+  /// True when this node's arc (pred, self] covers `key`.
+  bool responsible_for(std::uint64_t key) const;
+  /// The ring node to forward a message keyed on `key` to: the closest
+  /// finger preceding the key, falling back to our successor.
+  const RingNode* next_hop(std::uint64_t key) const;
+  void send_line(net::Endpoint dst, const std::string& line);
+  void store_record(const std::string& aor, const Uri& contact,
+                    TimePoint expires, bool replicate);
+  Counter& counter(const std::string& name);
+
+  net::Host& host_;
+  P2pConfig config_;
+  Logger log_;
+  std::uint64_t node_id_;
+  std::uint64_t predecessor_id_ = 0;
+  std::vector<RingNode> fingers_;     // dedup'd, sorted by id
+  std::vector<RingNode> successors_;  // ring order after self
+  SingleMapStore records_;            // keys this node is responsible for
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_request_ = 0;
+  sim::PeriodicTimer gc_;
+};
+
+}  // namespace siphoc::sip

@@ -1,19 +1,24 @@
 #include "sip/registrar.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <vector>
 
 #include "common/md5.hpp"
 #include "common/metrics.hpp"
+#include "common/strings.hpp"
 #include "sip/auth.hpp"
+#include "sip/p2p_resolver.hpp"
 
 namespace siphoc::sip {
 
 namespace {
 
-Counter& reg_counter(MetricsRegistry& registry, const std::string& name,
-                     const std::string& domain) {
-  return registry.counter(name, domain, "registrar");
-}
+/// Wall-clock store-lookup buckets, nanoseconds: a hash probe lands in the
+/// double digits, a map walk over millions in the thousands.
+constexpr double kLookupNsBuckets[] = {50,   100,   250,   500,   1000,
+                                       2500, 5000,  10000, 25000, 100000};
 
 }  // namespace
 
@@ -22,27 +27,102 @@ Registrar::Registrar(net::Host& host, RegistrarConfig config)
       config_(std::move(config)),
       log_("registrar", config_.domain),
       transport_(host, config_.port) {
+  if (config_.store_shards > 0) {
+    ShardedBindingStore::Config sc;
+    sc.shards = config_.store_shards;
+    store_ = std::make_unique<ShardedBindingStore>(sc);
+  } else {
+    store_ = std::make_unique<SingleMapStore>();
+  }
   transport_.set_handler([this](Message m, net::Endpoint from) {
     on_message(std::move(m), from);
   });
+  // Zero jitter: the tick must not perturb the deterministic RNG streams.
+  maintenance_.start(host_.sim(), config_.maintenance_interval,
+                     [this] { maintenance_tick(); });
+}
+
+Registrar::~Registrar() { maintenance_.stop(); }
+
+Counter& Registrar::counter(const char* name) {
+  return host_.sim().ctx().metrics().counter(name, config_.domain,
+                                             "registrar");
+}
+
+std::uint64_t Registrar::read_counter(const char* name) const {
+  const Counter* c = host_.sim().ctx().metrics().find_counter(
+      name, config_.domain, "registrar");
+  return c != nullptr ? c->value() : 0;
+}
+
+std::uint64_t Registrar::registers_accepted() const {
+  return read_counter("registrar.registers_accepted_total");
+}
+std::uint64_t Registrar::registers_rejected() const {
+  return read_counter("registrar.registers_rejected_total");
+}
+std::uint64_t Registrar::requests_forwarded() const {
+  return read_counter("registrar.requests_forwarded_total");
+}
+std::uint64_t Registrar::requests_failed() const {
+  return read_counter("registrar.requests_failed_total");
+}
+
+void Registrar::maintenance_tick() {
+  // Expired digest nonces die on the timer (they used to accumulate one
+  // per challenge, forever), and the table is hard-capped: above the cap
+  // the nonces closest to expiry are evicted first.
+  const TimePoint now = host_.sim().now();
+  for (auto it = issued_nonces_.begin(); it != issued_nonces_.end();) {
+    it = it->second <= now ? issued_nonces_.erase(it) : std::next(it);
+  }
+  if (issued_nonces_.size() > config_.nonce_cap) {
+    std::vector<std::pair<TimePoint, std::string>> by_expiry;
+    by_expiry.reserve(issued_nonces_.size());
+    for (const auto& [nonce, expires] : issued_nonces_) {
+      by_expiry.emplace_back(expires, nonce);
+    }
+    std::sort(by_expiry.begin(), by_expiry.end());
+    const std::size_t excess = issued_nonces_.size() - config_.nonce_cap;
+    for (std::size_t i = 0; i < excess; ++i) {
+      issued_nonces_.erase(by_expiry[i].second);
+    }
+  }
+  host_.sim().ctx().metrics()
+      .gauge("registrar.nonces", config_.domain, "registrar")
+      .set(static_cast<double>(issued_nonces_.size()));
+
+  // One wheel turn: only the due expiry buckets are touched.
+  if (store_->purge_expired(now) > 0) {
+    host_.sim().ctx().metrics()
+        .gauge("registrar.bindings", config_.domain, "registrar")
+        .set(static_cast<double>(store_->size()));
+  }
+}
+
+std::optional<Registrar::Binding> Registrar::store_lookup(
+    const std::string& aor) const {
+  if (!config_.measure_lookup_wall) {
+    return store_->lookup(aor, host_.sim().now());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = store_->lookup(aor, host_.sim().now());
+  const auto t1 = std::chrono::steady_clock::now();
+  host_.sim().ctx().metrics()
+      .histogram("registrar.lookup_ns", kLookupNsBuckets, config_.domain,
+                 "registrar")
+      .observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+  return result;
 }
 
 std::optional<Registrar::Binding> Registrar::binding(
     const std::string& aor) const {
-  const auto it = bindings_.find(aor);
-  if (it == bindings_.end() || it->second.expires <= host_.sim().now()) {
-    return std::nullopt;
-  }
-  return it->second;
+  return store_lookup(aor);
 }
 
-std::size_t Registrar::binding_count() const {
-  std::size_t n = 0;
-  for (const auto& [aor, b] : bindings_) {
-    if (b.expires > host_.sim().now()) ++n;
-  }
-  return n;
-}
+std::size_t Registrar::binding_count() const { return store_->size(); }
 
 void Registrar::on_message(Message message, net::Endpoint from) {
   if (message.is_response()) {
@@ -52,10 +132,7 @@ void Registrar::on_message(Message message, net::Endpoint from) {
   if (config_.require_outbound_proxy && from.address != config_.trusted_proxy) {
     log_.info("rejecting ", message.summary(), " from ",
               from.address.to_string(), ": not via our outbound proxy");
-    ++stats_.registers_rejected;
-    reg_counter(host_.sim().ctx().metrics(),
-                "registrar.registers_rejected_total", config_.domain)
-        .add();
+    counter("registrar.registers_rejected_total").add();
     if (message.method() != kAck) respond(message, 403, from);
     return;
   }
@@ -78,13 +155,15 @@ bool Registrar::check_authorization(const Message& request,
                                     net::Endpoint from) {
   if (!config_.require_auth) return true;
 
-  const auto issue_challenge = [&] {
+  const auto issue_challenge = [&](bool stale) {
     DigestChallenge challenge;
     challenge.realm = config_.domain;
+    challenge.stale = stale;
     challenge.nonce =
         md5_hex(config_.domain + std::to_string(++nonce_counter_) +
                 std::to_string(host_.rng().uniform_u64()));
-    issued_nonces_[challenge.nonce] = host_.sim().now() + minutes(5);
+    issued_nonces_[challenge.nonce] =
+        host_.sim().now() + config_.nonce_lifetime;
     Message response = Message::response_to(request, 401, "Unauthorized");
     response.add_header("www-authenticate", challenge.to_string());
     if (!transport_.send_response(response)) {
@@ -94,27 +173,27 @@ bool Registrar::check_authorization(const Message& request,
 
   const auto header = request.header("authorization");
   if (!header) {
-    issue_challenge();
+    issue_challenge(/*stale=*/false);
     return false;
   }
   const auto auth = DigestAuthorization::parse(*header);
   if (!auth) {
-    issue_challenge();
+    issue_challenge(/*stale=*/false);
     return false;
   }
   const auto nonce_it = issued_nonces_.find(auth->nonce);
   if (nonce_it == issued_nonces_.end() ||
       nonce_it->second <= host_.sim().now()) {
-    issue_challenge();  // stale or foreign nonce: challenge afresh
+    // The client answered a nonce we no longer honor (expired or evicted):
+    // re-challenge with stale=true so it retries with the fresh nonce
+    // without re-prompting for credentials (RFC 2617 §3.2.1).
+    issue_challenge(/*stale=*/true);
     return false;
   }
   const auto cred = config_.credentials.find(auth->username);
   if (cred == config_.credentials.end() ||
       !verify_authorization(*auth, cred->second, request.method())) {
-    ++stats_.registers_rejected;
-    reg_counter(host_.sim().ctx().metrics(),
-                "registrar.registers_rejected_total", config_.domain)
-        .add();
+    counter("registrar.registers_rejected_total").add();
     log_.info("bad credentials for '", auth->username, "'");
     respond(request, 403, from);
     return false;
@@ -137,25 +216,40 @@ void Registrar::handle_register(Message request, net::Endpoint from) {
     std::from_chars(h->data(), h->data() + h->size(), expires);
   }
 
-  const auto contact = request.contact();
+  // RFC 3261 §10.2.2: "Contact: *" is only valid with "Expires: 0" and
+  // wipes every binding of the AOR.
+  const auto contact_header = request.header("contact");
+  const bool wildcard = contact_header && trim(*contact_header) == "*";
+  if (wildcard && expires != 0) {
+    respond(request, 400, from);
+    return;
+  }
+
+  const std::optional<NameAddr> contact =
+      wildcard ? std::nullopt : request.contact();
   if (expires == 0) {
-    bindings_.erase(aor);
+    if (p2p_ != nullptr) {
+      p2p_->unpublish(aor);
+    } else {
+      store_->erase(aor);
+    }
     host_.sim().ctx().metrics()
         .gauge("registrar.bindings", config_.domain, "registrar")
-        .set(static_cast<double>(bindings_.size()));
-    log_.info("unregistered ", aor);
+        .set(static_cast<double>(store_->size()));
+    log_.info("unregistered ", aor, wildcard ? " (wildcard)" : "");
   } else if (contact) {
-    Binding b;
-    b.contact = contact->uri;
-    b.expires = host_.sim().now() + seconds(expires);
-    bindings_[aor] = std::move(b);
-    ++stats_.registers_accepted;
-    reg_counter(host_.sim().ctx().metrics(),
-                "registrar.registers_accepted_total", config_.domain)
-        .add();
+    const TimePoint binding_expires = host_.sim().now() + seconds(expires);
+    if (p2p_ != nullptr) {
+      // Serverless mode: the binding lives in the Chord-lite ring, keyed
+      // by the same hash the sharded store uses.
+      p2p_->publish(aor, contact->uri, binding_expires);
+    } else {
+      store_->upsert(aor, contact->uri, binding_expires);
+    }
+    counter("registrar.registers_accepted_total").add();
     host_.sim().ctx().metrics()
         .gauge("registrar.bindings", config_.domain, "registrar")
-        .set(static_cast<double>(bindings_.size()));
+        .set(static_cast<double>(store_->size()));
     log_.info("registered ", aor, " -> ", contact->uri.to_string(),
               " expires=", expires);
   } else {
@@ -183,32 +277,42 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
   // Destination: a numeric request URI forwards directly (in-dialog
   // requests addressed to a contact); a domain URI is looked up in the
   // bindings.
-  net::Endpoint dst;
   if (const auto numeric = request.request_uri().numeric_endpoint();
       numeric && !host_.owns_address(numeric->address)) {
-    dst = *numeric;
-  } else {
-    const std::string aor = request.request_uri().aor();
-    const auto b = binding(aor);
-    if (!b) {
-      ++stats_.requests_failed;
-      reg_counter(host_.sim().ctx().metrics(),
-                  "registrar.requests_failed_total", config_.domain)
-          .add();
-      log_.info(request.method(), " for ", aor, ": no binding -> 404");
-      if (request.method() != kAck) respond(request, 404, from);
-      return;
-    }
-    const auto contact_ep = b->contact.numeric_endpoint();
-    if (!contact_ep) {
-      ++stats_.requests_failed;
-      reg_counter(host_.sim().ctx().metrics(),
-                  "registrar.requests_failed_total", config_.domain)
-          .add();
-      if (request.method() != kAck) respond(request, 502, from);
-      return;
-    }
-    dst = *contact_ep;
+    Binding direct;
+    direct.contact = request.request_uri();
+    direct.expires = host_.sim().now() + seconds(1);
+    forward_to_binding(std::move(request), from, direct);
+    return;
+  }
+
+  const std::string aor = request.request_uri().aor();
+  if (p2p_ != nullptr) {
+    // Ring resolution: O(log n) hops through the gateways' finger tables;
+    // the request parks here until the ring answers or times out.
+    p2p_->resolve(aor, [this, request = std::move(request), from](
+                           std::optional<ContactBinding> binding, int) mutable {
+      forward_to_binding(std::move(request), from, std::move(binding));
+    });
+    return;
+  }
+  forward_to_binding(std::move(request), from, store_lookup(aor));
+}
+
+void Registrar::forward_to_binding(Message request, net::Endpoint from,
+                                   std::optional<Binding> binding) {
+  if (!binding) {
+    counter("registrar.requests_failed_total").add();
+    log_.info(request.method(), " for ", request.request_uri().aor(),
+              ": no binding -> 404");
+    if (request.method() != kAck) respond(request, 404, from);
+    return;
+  }
+  const auto contact_ep = binding->contact.numeric_endpoint();
+  if (!contact_ep) {
+    counter("registrar.requests_failed_total").add();
+    if (request.method() != kAck) respond(request, 502, from);
+    return;
   }
 
   Via via;
@@ -218,11 +322,8 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
       std::string(kBranchCookie) + "reg" +
       std::to_string(host_.rng().uniform_int(0, 0xffffff));
   request.push_via(via);
-  ++stats_.requests_forwarded;
-  reg_counter(host_.sim().ctx().metrics(),
-              "registrar.requests_forwarded_total", config_.domain)
-      .add();
-  transport_.send(request, dst);
+  counter("registrar.requests_forwarded_total").add();
+  transport_.send(request, *contact_ep);
 }
 
 void Registrar::forward_response(Message response) {

@@ -29,6 +29,8 @@ SiphocProxy::SiphocProxy(net::Host& host, slp::Directory& directory,
   });
 }
 
+SiphocProxy::~SiphocProxy() { upstream_flush_.cancel(); }
+
 std::optional<SiphocProxy::Binding> SiphocProxy::binding(
     const std::string& user) const {
   const auto it = bindings_.find(user);
@@ -112,6 +114,15 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
     std::from_chars(h->data(), h->data() + h->size(), expires);
   }
 
+  // A pure refresh re-asserts an unexpired binding with the same contact;
+  // only those are eligible for upstream coalescing -- new registrations
+  // and contact changes must reach the provider (and the phone must see
+  // the provider's verdict) right away.
+  const auto prev = binding(user);
+  const bool is_refresh = prev.has_value() && contact &&
+                          contact->uri.numeric_endpoint() &&
+                          prev->contact == *contact->uri.numeric_endpoint();
+
   if (expires == 0) {
     bindings_.erase(user);
     directory_.deregister_service(std::string(slp::kSipContactService), aor);
@@ -146,11 +157,43 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
   const net::Address inet = current_internet_address();
   if (!inet.is_unspecified()) {
     if (const auto provider = resolve_provider(to->uri.host)) {
-      Message upstream = request;
-      ++stats_.upstream_registers;
-      proxy_counter(host_, "proxy.upstream_registers_total").add();
-      forward_request(std::move(upstream), *provider);
-      return;
+      if (is_refresh && expires != 0 &&
+          config_.upstream_refresh_window > Duration::zero()) {
+        // Coalesce: answer the phone locally, park the upstream relay --
+        // latest REGISTER per AOR wins -- and flush once per window. The
+        // provider's eventual 200 re-traverses a transaction the phone
+        // already completed and is absorbed as a retransmission. The
+        // upstream Expires is stretched to cover the window, so the
+        // provider binding outlives the gap between flushes even though
+        // the phone refreshes on its own shorter lifetime.
+        Message parked = request;
+        parked.set_header(
+            "expires",
+            std::to_string(expires + static_cast<std::uint32_t>(to_seconds(
+                                         config_.upstream_refresh_window))));
+        pending_upstream_[aor] = PendingUpstream{std::move(parked), *provider};
+        ++stats_.upstream_refreshes_coalesced;
+        proxy_counter(host_, "proxy.upstream_refreshes_coalesced_total").add();
+        if (!upstream_flush_scheduled_) {
+          upstream_flush_scheduled_ = true;
+          upstream_flush_ = host_.sim().schedule(
+              config_.upstream_refresh_window,
+              [this] { flush_upstream_refreshes(); });
+        }
+      } else {
+        Message upstream = request;
+        if (expires != 0 &&
+            config_.upstream_refresh_window > Duration::zero()) {
+          upstream.set_header(
+              "expires",
+              std::to_string(expires + static_cast<std::uint32_t>(to_seconds(
+                                           config_.upstream_refresh_window))));
+        }
+        ++stats_.upstream_registers;
+        proxy_counter(host_, "proxy.upstream_registers_total").add();
+        forward_request(std::move(upstream), *provider);
+        return;
+      }
     }
   }
 
@@ -159,6 +202,23 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
   ok.add_header("contact", contact->to_string() + ";expires=" +
                                std::to_string(expires));
   if (!transport_.send_response(ok)) transport_.send(ok, from);
+}
+
+void SiphocProxy::flush_upstream_refreshes() {
+  upstream_flush_scheduled_ = false;
+  if (pending_upstream_.empty()) return;
+  ++stats_.upstream_refresh_flushes;
+  proxy_counter(host_, "proxy.upstream_refresh_flushes_total").add();
+  auto pending = std::move(pending_upstream_);
+  pending_upstream_.clear();
+  const net::Address inet = current_internet_address();
+  for (auto& [aor, p] : pending) {
+    if (inet.is_unspecified()) break;  // went offline: drop, next refresh
+                                       // re-queues
+    ++stats_.upstream_registers;
+    proxy_counter(host_, "proxy.upstream_registers_total").add();
+    forward_request(std::move(p.request), p.provider);
+  }
 }
 
 // --------------------------------------------------------------------------

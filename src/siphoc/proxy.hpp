@@ -28,6 +28,7 @@
 #include <map>
 
 #include "common/logging.hpp"
+#include "sim/simulator.hpp"
 #include "sip/transport.hpp"
 #include "slp/directory.hpp"
 
@@ -44,12 +45,21 @@ struct ProxyConfig {
   /// the provider's proxy endpoint per domain lets the SIPHoc proxy relay
   /// through it instead.
   std::map<std::string, net::Endpoint> provider_outbound_proxies;
+  /// Upstream REGISTER refresh coalescing. Zero (default) relays every
+  /// REGISTER upstream immediately, as before. A positive window answers
+  /// pure *refreshes* (same user, same contact, binding still unexpired)
+  /// locally with 200 and batches the upstream relays: per window at most
+  /// one burst goes out, carrying only the latest REGISTER per AOR -- so a
+  /// provider facing thousands of phones sees one refresh per phone per
+  /// window instead of one per refresh timer firing.
+  Duration upstream_refresh_window = Duration::zero();
 };
 
 class SiphocProxy {
  public:
   SiphocProxy(net::Host& host, slp::Directory& directory,
               ProxyConfig config = {});
+  ~SiphocProxy();
 
   /// Wiring for Internet-connected operation: the current Internet-visible
   /// address (unspecified = offline) and a DNS resolver for SIP domains.
@@ -74,6 +84,8 @@ class SiphocProxy {
     std::uint64_t internet_forwards = 0;
     std::uint64_t not_found = 0;
     std::uint64_t delivered_local = 0;
+    std::uint64_t upstream_refreshes_coalesced = 0;
+    std::uint64_t upstream_refresh_flushes = 0;
   };
   const ProxyStats& stats() const { return stats_; }
 
@@ -97,6 +109,9 @@ class SiphocProxy {
   void respond_error(const sip::Message& request, int status,
                      net::Endpoint from);
 
+  /// Sends every pending coalesced upstream REGISTER as one burst.
+  void flush_upstream_refreshes();
+
   bool egress_is_internet(net::Address dst) const;
   net::Address current_internet_address() const;
   /// Where requests for `domain` go on the Internet: the provisioned
@@ -118,6 +133,16 @@ class SiphocProxy {
   std::map<std::string, Binding> bindings_;  // by user name
   std::uint64_t branch_counter_ = 0;
   ProxyStats stats_;
+
+  // Coalesced upstream refreshes, latest REGISTER per AOR, flushed in one
+  // burst when the window timer fires.
+  struct PendingUpstream {
+    sip::Message request;
+    net::Endpoint provider;
+  };
+  std::map<std::string, PendingUpstream> pending_upstream_;
+  bool upstream_flush_scheduled_ = false;
+  sim::EventHandle upstream_flush_;
 };
 
 }  // namespace siphoc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "routing/aodv.hpp"
+#include "scenario/scenario.hpp"
 #include "siphoc/proxy.hpp"
 #include "sip/sdp.hpp"
 #include "slp/manet_slp.hpp"
@@ -288,6 +289,44 @@ TEST_F(ProxyFixture, AckNeverAnswered) {
   phone_send(0, ack);
   sim_.run_for(seconds(8));
   EXPECT_TRUE(inbox.empty());  // no 404 for ACK
+}
+
+TEST(ProxyCoalescingTest, RefreshesBatchIntoOneUpstreamBurstPerWindow) {
+  scenario::Options o;
+  o.nodes = 2;
+  o.routing = RoutingKind::kAodv;
+  // Aggressive refresh against a wide window: the phone re-REGISTERs every
+  // ~3s, upstream flushes at most once per 20s.
+  o.stack.proxy.upstream_refresh_window = seconds(20);
+  scenario::Testbed bed(o);
+  auto& provider = bed.add_provider("voicehoc.ch");
+  bed.start();
+  bed.make_gateway(0);
+  bed.settle(seconds(10));
+
+  voip::SoftPhoneConfig pc;
+  pc.username = "alice";
+  pc.domain = "voicehoc.ch";
+  pc.register_expires = seconds(6);  // refresh at half-lifetime
+  auto& phone = bed.add_phone(1, pc);
+  ASSERT_TRUE(bed.register_and_wait(phone, seconds(20)));
+  const auto upstream_after_first = provider.registers_accepted();
+  EXPECT_GE(upstream_after_first, 1u);  // initial REGISTER was relayed live
+
+  bed.run_for(seconds(60));  // ~20 refreshes, at most ~4 windows
+
+  const auto& stats = bed.stack(1).proxy().stats();
+  EXPECT_GT(stats.upstream_refreshes_coalesced, 4u);
+  EXPECT_GE(stats.upstream_refresh_flushes, 1u);
+  // Batching means strictly fewer upstream REGISTERs than refreshes; each
+  // flush carries at most one per AOR.
+  EXPECT_LT(stats.upstream_registers,
+            stats.upstream_refreshes_coalesced);
+  EXPECT_LE(provider.registers_accepted() - upstream_after_first,
+            stats.upstream_refresh_flushes + 1);
+  // The phone never noticed: locally answered 200s kept it registered.
+  EXPECT_TRUE(phone.registered());
+  EXPECT_TRUE(provider.binding("alice@voicehoc.ch").has_value());
 }
 
 }  // namespace

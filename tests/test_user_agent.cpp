@@ -77,9 +77,9 @@ TEST_F(UaFixture, RegistrationRefreshes) {
   UserAgent alice(alice_host_, c);
   alice.start_registration();
   sim_.run_for(seconds(1));
-  const auto before = registrar_->stats().registers_accepted;
+  const auto before = registrar_->registers_accepted();
   sim_.run_for(seconds(30));  // several half-lifetime refreshes
-  EXPECT_GT(registrar_->stats().registers_accepted, before + 2);
+  EXPECT_GT(registrar_->registers_accepted(), before + 2);
   EXPECT_TRUE(alice.registered());
 }
 
