@@ -18,12 +18,21 @@
 //     measured in virtual ms, so the rows are wall-clock independent; each
 //     configuration runs at --sim-threads 1 and 2 and the bench exits
 //     non-zero if any column (or the merged metrics registry) differs.
+//
+//  C. Churn (experiment E12, virtual time): a standalone live ring under
+//     crash/cold-restart churn at 0 / 2 / 6 / 12 membership events per
+//     virtual minute, with a steady lookup load from a stable member.
+//     Reports lookup success rate and mean hop count per churn rate; the
+//     zero-churn row must stay at 100% success.
 #include <algorithm>
 #include <cstring>
 #include <thread>
 
 #include "bench_table.hpp"
+#include "common/random.hpp"
+#include "net/internet.hpp"
 #include "scenario/scenario.hpp"
+#include "sip/p2p_resolver.hpp"
 #include "sip/registrar_store.hpp"
 #include "sip/user_agent.hpp"
 
@@ -249,6 +258,103 @@ void print_call_row(const char* label, const CallRow& r) {
               r.calls, r.setup_ms, r.events);
 }
 
+// ---------------------------------------------------------------------------
+// Part C: live-ring churn (experiment E12, virtual time)
+// ---------------------------------------------------------------------------
+
+struct ChurnRow {
+  double rate = 0;        // membership events per virtual minute
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  double mean_hops = 0;   // over successful lookups
+  std::size_t churn_events = 0;
+};
+
+/// A standalone live ring under crash/cold-restart churn: every churn
+/// event toggles a random non-bootstrap member (alive -> hard crash,
+/// down -> cold restart + join_ring through node 0) while node 0 issues a
+/// lookup every 500 virtual ms across a fixed key population.
+ChurnRow run_churn(double per_minute, bool quick, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Internet internet(sim, milliseconds(5));
+  const std::size_t n = quick ? 5 : 8;
+  std::vector<std::unique_ptr<net::Host>> hosts;
+  std::vector<std::unique_ptr<sip::P2pResolver>> ring;
+  std::vector<net::Endpoint> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    hosts.push_back(std::make_unique<net::Host>(
+        sim, static_cast<net::NodeId>(300 + i),
+        "churn-" + std::to_string(i)));
+    hosts.back()->attach_wired(internet,
+                               net::Address(192, 0, 2, 100 + static_cast<int>(i)));
+    ring.push_back(std::make_unique<sip::P2pResolver>(*hosts.back()));
+    members.push_back(ring.back()->endpoint());
+  }
+  for (auto& r : ring) r->join(members);
+
+  const std::size_t keys = quick ? 20 : 40;
+  std::vector<std::string> aors;
+  for (std::size_t i = 0; i < keys; ++i) {
+    aors.push_back("user" + std::to_string(i) + "@churn.bench");
+    ring[0]->publish(aors.back(), contact_of(i), sim.now() + hours(1));
+  }
+  sim.run_for(seconds(2));
+
+  ChurnRow row;
+  row.rate = per_minute;
+  double hop_sum = 0;
+  std::size_t hop_n = 0;
+  Rng rng(seed ^ 0xc42u);
+  const TimePoint end = sim.now() + (quick ? seconds(60) : seconds(120));
+  const Duration churn_interval =
+      per_minute > 0
+          ? milliseconds(static_cast<std::int64_t>(60000.0 / per_minute))
+          : Duration::zero();
+  TimePoint next_churn = sim.now() + churn_interval;
+  TimePoint next_lookup = sim.now();
+  std::size_t aor_index = 0;
+  while (sim.now() < end) {
+    if (per_minute > 0 && sim.now() >= next_churn) {
+      next_churn += churn_interval;
+      const std::size_t victim =
+          1 + rng.uniform_int(0, static_cast<std::uint32_t>(n - 2));
+      if (ring[victim]) {
+        ring[victim].reset();  // hard crash: port dark, replicas lost
+      } else {
+        ring[victim] = std::make_unique<sip::P2pResolver>(*hosts[victim]);
+        ring[victim]->join_ring(ring[0]->endpoint());
+      }
+      ++row.churn_events;
+    }
+    if (sim.now() >= next_lookup) {
+      next_lookup += milliseconds(500);
+      ++row.lookups;
+      ring[0]->resolve(aors[aor_index++ % aors.size()],
+                       [&row, &hop_sum, &hop_n](
+                           std::optional<sip::ContactBinding> b, int hops) {
+                         if (!b) return;
+                         ++row.hits;
+                         if (hops >= 0) {
+                           hop_sum += hops;
+                           ++hop_n;
+                         }
+                       });
+    }
+    sim.run_for(milliseconds(100));
+  }
+  sim.run_for(seconds(3));  // drain in-flight lookups
+  row.mean_hops = hop_n > 0 ? hop_sum / static_cast<double>(hop_n) : 0;
+  return row;
+}
+
+void print_churn_row(const ChurnRow& r) {
+  std::printf("%8.0f | %4zu/%-4zu %7.1f%% | %9.2f | %6zu\n", r.rate, r.hits,
+              r.lookups,
+              100.0 * static_cast<double>(r.hits) /
+                  static_cast<double>(r.lookups == 0 ? 1 : r.lookups),
+              r.mean_hops, r.churn_events);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -357,6 +463,30 @@ int main(int argc, char** argv) {
   }
   std::printf("\nrows byte-identical across --sim-threads (1 vs %u): %s\n",
               sim_threads, failed ? "NO" : "yes");
+
+  std::printf("\nE12: live-ring churn -- lookup success and hops vs churn "
+              "rate\n\n");
+  std::printf("%8s | %-16s | %9s | %6s\n", "per min", "lookups ok",
+              "mean hops", "events");
+  std::printf("---------+------------------+-----------+-------\n");
+  for (const double rate : {0.0, 2.0, 6.0, 12.0}) {
+    const ChurnRow r = run_churn(rate, args.quick, seed + 12);
+    print_churn_row(r);
+    report.add_row(
+        "churn/r" + std::to_string(static_cast<int>(rate)),
+        {{"rate_per_min", r.rate},
+         {"lookups", static_cast<double>(r.lookups)},
+         {"hits", static_cast<double>(r.hits)},
+         {"success_pct", 100.0 * static_cast<double>(r.hits) /
+                             static_cast<double>(r.lookups ? r.lookups : 1)},
+         {"mean_hops", r.mean_hops},
+         {"churn_events", static_cast<double>(r.churn_events)}});
+    if (rate == 0.0 && r.hits != r.lookups) {
+      std::printf("!! zero churn must resolve every lookup (%zu/%zu)\n",
+                  r.hits, r.lookups);
+      failed = true;
+    }
+  }
 
   report.write(args.json_path);
   return failed ? 1 : 0;

@@ -25,12 +25,18 @@
 //   --faults FILE        apply a FaultPlan file (docs/RESILIENCE.md format)
 //                        to the scripted scenario; recovery invariants are
 //                        monitored and violations fail the run
-//   --chaos seed=N duration=D
+//   --chaos seed=N duration=D [p2p=R]
 //                        ignore the script: run the built-in chaos soak --
 //                        a 6-node MANET with two gateways and a call
 //                        workload under a fault plan generated from seed N
 //                        (byte-reproducible; non-zero exit on any invariant
-//                        violation or corrupted-frame acceptance)
+//                        violation or corrupted-frame acceptance). p2p=R
+//                        backs the provider with a Chord-lite ring of R
+//                        dedicated members; the plan then also crashes and
+//                        restarts a ring member, I5 (p2p-resolves) is
+//                        asserted, and lookup success after stabilization
+//                        must be 100%. Byte-reproducible for any
+//                        --sim-threads.
 //
 // Script commands (one per line; '#' starts a comment):
 //   nodes N chain|grid|random SPACING aodv|olsr   -- build the MANET
@@ -398,26 +404,41 @@ struct Runner {
 /// The --chaos soak: a six-node chain with gateways at both ends, a call
 /// workload between two protected nodes, and a seed-derived fault plan
 /// tormenting everything else. All output is virtual-time only, so a given
-/// seed reproduces byte for byte.
-int run_chaos(std::uint64_t seed, double duration_s,
-              const std::string& metrics_path,
+/// seed reproduces byte for byte -- including across --sim-threads in the
+/// p2p variant, whose region count is pinned (simulation content) while
+/// the thread count stays pure execution policy.
+int run_chaos(std::uint64_t seed, double duration_s, std::size_t p2p_nodes,
+              unsigned sim_threads, const std::string& metrics_path,
               const std::string& metrics_csv_path) {
   using scenario::FaultEngine;
   using scenario::FaultPlan;
   using scenario::InvariantMonitor;
   const auto duration = std::chrono::duration_cast<Duration>(
       std::chrono::duration<double>(duration_s));
-  std::printf("== chaos soak: seed %llu, %.0f s of faults ==\n",
-              static_cast<unsigned long long>(seed), duration_s);
+  std::printf("== chaos soak: seed %llu, %.0f s of faults%s ==\n",
+              static_cast<unsigned long long>(seed), duration_s,
+              p2p_nodes > 0 ? ", P2P provider" : "");
 
   scenario::Options o;
   o.seed = seed;
   o.nodes = 6;
   o.topology = scenario::Topology::kChain;
   o.spacing = 80;
+  if (p2p_nodes > 0) {
+    // Pinned region count (content, like seed); --sim-threads then only
+    // changes who executes the lanes, never what happens.
+    o.sim_regions = 2;
+    o.sim_threads = sim_threads;
+  }
   scenario::Testbed bed(o);
   bed.make_gateway(0);
   bed.make_gateway(5);
+  if (p2p_nodes > 0) {
+    scenario::Testbed::ProviderOptions po;
+    po.resolution = scenario::Testbed::Resolution::kP2p;
+    po.p2p_nodes = p2p_nodes;
+    bed.add_provider("voicehoc.ch", po);
+  }
   bed.start();
   auto& alice = bed.add_phone(1, "alice");
   auto& bob = bed.add_phone(4, "bob");
@@ -426,8 +447,17 @@ int run_chaos(std::uint64_t seed, double duration_s,
   bed.register_and_wait(bob);
 
   // Nodes 1 and 4 carry the phones and stay up; everything else is fair
-  // game for the plan.
-  const FaultPlan plan = FaultPlan::generate(seed, duration, o.nodes, {1, 4});
+  // game for the plan. In p2p mode the gateways are protected too -- ring
+  // churn is the subject under test, and stable gateways keep the phones'
+  // tunnel contacts fixed so I5's dead-contact check bites on the ring,
+  // not on gateway failover. The plan then also crashes and restarts one
+  // dedicated ring member.
+  const std::vector<std::size_t> protected_nodes =
+      p2p_nodes > 0 ? std::vector<std::size_t>{0, 1, 4, 5}
+                    : std::vector<std::size_t>{1, 4};
+  const FaultPlan plan =
+      FaultPlan::generate(seed, duration, o.nodes, protected_nodes,
+                          p2p_nodes);
   std::printf("-- fault plan (reproduce with the same seed) --\n%s",
               plan.to_string().c_str());
 
@@ -457,6 +487,41 @@ int run_chaos(std::uint64_t seed, double duration_s,
   monitor.stop();
   monitor.check();
 
+  // P2P acceptance: after stabilization quiesced, every registered AOR
+  // must resolve through the ring's front door -- 100%, not "mostly".
+  int p2p_failures = 0;
+  if (p2p_nodes > 0) {
+    const auto ring = bed.p2p_ring("voicehoc.ch");
+    std::size_t alive = 0;
+    for (const auto* member : ring) alive += member != nullptr ? 1 : 0;
+    std::printf("-- p2p ring: %zu/%zu members live --\n", alive,
+                ring.size());
+    if (alive != ring.size()) ++p2p_failures;
+
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    for (const char* aor : {"alice@voicehoc.ch", "bob@voicehoc.ch"}) {
+      bool done = false;
+      bool hit = false;
+      ring.front()->resolve(aor,
+                            [&](std::optional<sip::ContactBinding> binding,
+                                int) {
+                              done = true;
+                              hit = binding.has_value();
+                            });
+      const TimePoint deadline = bed.sim().now() + seconds(3);
+      while (!done && bed.sim().now() < deadline) {
+        bed.run_for(milliseconds(50));
+      }
+      ++lookups;
+      hits += hit ? 1 : 0;
+      std::printf("  resolve %s: %s\n", aor, hit ? "found" : "MISS");
+    }
+    std::printf("p2p lookup success after stabilization: %zu/%zu\n", hits,
+                lookups);
+    if (hits != lookups) ++p2p_failures;
+  }
+
   std::printf("-- applied faults --\n");
   for (const auto& line : engine.narration()) {
     std::printf("  %s\n", line.c_str());
@@ -472,7 +537,8 @@ int run_chaos(std::uint64_t seed, double duration_s,
       static_cast<unsigned long long>(ms.frames_duplicated),
       static_cast<unsigned long long>(ms.frames_reordered));
 
-  int failures = static_cast<int>(monitor.report().violations.size());
+  int failures = static_cast<int>(monitor.report().violations.size()) +
+                 p2p_failures;
   const auto accepted =
       bed.ctx().metrics().counter_total("chaos.corrupt_accepted_total");
   if (accepted > 0) {
@@ -511,6 +577,7 @@ int main(int argc, char** argv) {
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
   double chaos_duration = 120.0;
+  std::size_t chaos_p2p = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics" && i + 1 < argc) {
@@ -521,7 +588,7 @@ int main(int argc, char** argv) {
       faults_path = argv[++i];
     } else if (arg == "--chaos") {
       chaos = true;
-      // Consume trailing key=value tokens: seed=N duration=D.
+      // Consume trailing key=value tokens: seed=N duration=D p2p=N.
       while (i + 1 < argc && std::string(argv[i + 1]).find('=') !=
                                  std::string::npos) {
         const std::string spec = argv[++i];
@@ -529,6 +596,9 @@ int main(int argc, char** argv) {
           chaos_seed = std::strtoull(spec.c_str() + 5, nullptr, 10);
         } else if (spec.rfind("duration=", 0) == 0) {
           chaos_duration = std::strtod(spec.c_str() + 9, nullptr);
+        } else if (spec.rfind("p2p=", 0) == 0) {
+          chaos_p2p = static_cast<std::size_t>(
+              std::strtoull(spec.c_str() + 4, nullptr, 10));
         } else {
           std::fprintf(stderr, "--chaos: unknown parameter %s\n",
                        spec.c_str());
@@ -563,8 +633,8 @@ int main(int argc, char** argv) {
   }
 
   if (chaos) {
-    return run_chaos(chaos_seed, chaos_duration, metrics_path,
-                     metrics_csv_path);
+    return run_chaos(chaos_seed, chaos_duration, chaos_p2p, sim_threads,
+                     metrics_path, metrics_csv_path);
   }
 
   scenario::FaultPlan fault_plan;

@@ -3,7 +3,10 @@
 // The testbed uses three address realms, mirroring the paper's deployment:
 //   * 10.0.0.0/24      -- the MANET (one address per node, as on the laptops)
 //   * 192.0.2.0/24     -- the emulated public Internet (SIP providers)
-//   * 10.8.0.0/24      -- tunnel addresses handed out by gateway nodes
+//   * 10.8.0.0/16      -- tunnel addresses handed out by gateway nodes;
+//                         each gateway owns the /24 slice 10.8.<G>.0/24
+//                         keyed by its own MANET octet, so leases from
+//                         different gateways never collide on the Internet
 //   * 127.0.0.1        -- loopback; the out-of-the-box VoIP clients talk to
 //                         their SIPHoc proxy via "outbound proxy = localhost"
 #pragma once
@@ -59,7 +62,7 @@ inline constexpr int kManetPrefixLen = 24;
 inline constexpr Address kInternetPrefix{192, 0, 2, 0};
 inline constexpr int kInternetPrefixLen = 24;
 inline constexpr Address kTunnelPrefix{10, 8, 0, 0};
-inline constexpr int kTunnelPrefixLen = 24;
+inline constexpr int kTunnelPrefixLen = 16;
 
 /// UDP endpoint: address + port.
 struct Endpoint {

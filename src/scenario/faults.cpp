@@ -129,6 +129,12 @@ std::string FaultEvent::to_string() const {
     case Kind::kUnjam:
       out += "unjam " + node_list_str(nodes);
       break;
+    case Kind::kRingCrash:
+      out += "ring-crash " + node_list_str(nodes);
+      break;
+    case Kind::kRingRestart:
+      out += "ring-restart " + node_list_str(nodes);
+      break;
   }
   return out;
 }
@@ -171,7 +177,8 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
     };
 
     if (cmd == "crash" || cmd == "restart" || cmd == "kill-gateway" ||
-        cmd == "jam" || cmd == "unjam") {
+        cmd == "jam" || cmd == "unjam" || cmd == "ring-crash" ||
+        cmd == "ring-restart") {
       if (!need(1)) return error(cmd + " takes one node list");
       const auto nodes = nodes_arg(0);
       if (!nodes) return error("bad node list");
@@ -180,7 +187,9 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
                    : cmd == "restart"      ? FaultEvent::Kind::kRestart
                    : cmd == "kill-gateway" ? FaultEvent::Kind::kKillGateway
                    : cmd == "jam"          ? FaultEvent::Kind::kJam
-                                           : FaultEvent::Kind::kUnjam;
+                   : cmd == "unjam"        ? FaultEvent::Kind::kUnjam
+                   : cmd == "ring-crash"   ? FaultEvent::Kind::kRingCrash
+                                           : FaultEvent::Kind::kRingRestart;
     } else if (cmd == "partition") {
       if (!need(3) || tokens[4] != "|") {
         return error("expected 'partition <list> | <list>'");
@@ -233,7 +242,8 @@ Result<FaultPlan> FaultPlan::parse(const std::string& text) {
 
 FaultPlan FaultPlan::generate(
     std::uint64_t seed, Duration duration, std::size_t nodes,
-    const std::vector<std::size_t>& protected_nodes) {
+    const std::vector<std::size_t>& protected_nodes,
+    std::size_t ring_nodes) {
   // Never the simulation RNG: the plan generator has its own splitmix64-
   // derived stream, so a chaos run's *workload* packet schedule matches a
   // faultless run of the same seed up to the first injected fault.
@@ -340,6 +350,22 @@ FaultPlan FaultPlan::generate(
                            delay});
   }
 
+  // Ring churn last (P2P provider soaks): crash one dedicated ring member
+  // mid-run and bring it back early enough for stabilization plus the
+  // runtime rejoin to quiesce before the quiet tail. Drawing these after
+  // every other stream keeps ring-less plans byte-identical.
+  if (ring_nodes > 0) {
+    const std::size_t victim =
+        1 + rng.uniform_int(0, static_cast<std::uint32_t>(ring_nodes - 1));
+    const Duration down_at = at(0.15, 0.50);
+    const Duration up_at =
+        std::min(down_at + at(0.10, 0.25), quantize_ms(total * 0.8));
+    plan.events.push_back(
+        {down_at, FaultEvent::Kind::kRingCrash, {victim}, {}});
+    plan.events.push_back(
+        {up_at, FaultEvent::Kind::kRingRestart, {victim}, {}});
+  }
+
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
@@ -419,6 +445,12 @@ void FaultEngine::run(const FaultEvent& event) {
     case Kind::kUnjam:
       for (std::size_t n : event.nodes) unjam(n);
       break;
+    case Kind::kRingCrash:
+      for (std::size_t n : event.nodes) ring_crash(n);
+      break;
+    case Kind::kRingRestart:
+      for (std::size_t n : event.nodes) ring_restart(n);
+      break;
   }
 }
 
@@ -480,6 +512,30 @@ void FaultEngine::unjam(std::size_t node) {
   note("unjam n" + std::to_string(node));
 }
 
+void FaultEngine::ring_crash(std::size_t index) {
+  bool any = false;
+  for (const auto& domain : bed_.p2p_domains()) {
+    if (!bed_.ring_node_alive(domain, index)) continue;
+    bed_.crash_ring_node(domain, index);
+    any = true;
+  }
+  if (any) note("ring-crash r" + std::to_string(index));
+}
+
+void FaultEngine::ring_restart(std::size_t index) {
+  bool any = false;
+  for (const auto& domain : bed_.p2p_domains()) {
+    const auto ring = bed_.p2p_ring(domain);
+    if (index == 0 || index >= ring.size() ||
+        bed_.ring_node_alive(domain, index)) {
+      continue;
+    }
+    bed_.restart_ring_node(domain, index);
+    any = true;
+  }
+  if (any) note("ring-restart r" + std::to_string(index));
+}
+
 void FaultEngine::set_loss(double p0, double p1, Duration ramp) {
   if (p0 <= 0.0 && p1 <= 0.0) {
     bed_.medium().clear_loss_ramp();
@@ -519,6 +575,12 @@ bool FaultEngine::faults_active() const {
   if (partition_active_ || !jammed_.empty()) return true;
   for (std::size_t i = 0; i < bed_.size(); ++i) {
     if (!bed_.node_alive(i)) return true;
+  }
+  for (const auto& domain : bed_.p2p_domains()) {
+    const auto ring = bed_.p2p_ring(domain);
+    for (std::size_t i = 1; i < ring.size(); ++i) {
+      if (ring[i] == nullptr) return true;  // ring member still down
+    }
   }
   const auto& knobs = bed_.medium().fault_knobs();
   if (knobs.corrupt_probability > 0 || knobs.duplicate_probability > 0 ||

@@ -35,6 +35,10 @@ struct FaultEvent {
     kReorder,      // per-receiver reorder probability = p1, max delay `ramp`
     kJam,          // radio blackout for `nodes` (stack keeps running)
     kUnjam,
+    kRingCrash,    // kill P2P ring members (Testbed::crash_ring_node; the
+                   // index is a *ring* index >= 1, applied to every kP2p
+                   // domain the testbed serves)
+    kRingRestart,  // rejoin crashed ring members through the front door
   };
 
   Duration at{};
@@ -66,6 +70,8 @@ struct FaultPlan {
   ///   at 15s jam 1,2
   ///   at 18s unjam 1,2
   ///   at 40s kill-gateway 0
+  ///   at 20s ring-crash 2        # P2P ring member (ring index, not node)
+  ///   at 35s ring-restart 2
   ///
   /// Durations accept s/ms/us suffixes; a bare number means seconds.
   static Result<FaultPlan> parse(const std::string& text);
@@ -74,10 +80,15 @@ struct FaultPlan {
   /// never the simulation RNG). Always contains at least one corruption
   /// epoch and one loss ramp; crashes only hit nodes outside
   /// `protected_nodes` and are always paired with a restart, partitions
-  /// with a heal, so the network ends the plan whole.
+  /// with a heal, so the network ends the plan whole. With `ring_nodes`
+  /// > 0 (count of *dedicated* P2P ring members, front door excluded) the
+  /// plan additionally crashes and restarts one ring member -- drawn after
+  /// everything else so plans without ring nodes stay byte-identical to
+  /// earlier releases.
   static FaultPlan generate(std::uint64_t seed, Duration duration,
                             std::size_t nodes,
-                            const std::vector<std::size_t>& protected_nodes = {});
+                            const std::vector<std::size_t>& protected_nodes = {},
+                            std::size_t ring_nodes = 0);
 
   /// Canonical text form; parse(to_string()) reproduces the plan.
   std::string to_string() const;
@@ -107,6 +118,10 @@ class FaultEngine {
   void heal();
   void jam(std::size_t node);
   void unjam(std::size_t node);
+  /// Ring faults hit P2P ring member `index` (>= 1) of *every* kP2p
+  /// domain the testbed serves.
+  void ring_crash(std::size_t index);
+  void ring_restart(std::size_t index);
   /// Loss epoch: injected loss ramps from p0 now to p1 at now+ramp, then
   /// holds p1 until the next call. set_loss(0, 0, {}) clears.
   void set_loss(double p0, double p1, Duration ramp);

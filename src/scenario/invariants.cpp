@@ -50,6 +50,7 @@ void InvariantMonitor::check() {
   check_transactions_bounded();
   check_slp_purges();
   check_reattaches();
+  check_p2p_resolves();
 }
 
 void InvariantMonitor::violate(const char* invariant, const std::string& key,
@@ -146,6 +147,58 @@ void InvariantMonitor::check_reattaches() {
               bed_.host(i).name() +
                   " is offline despite a live gateway and " +
                   format_time(TimePoint{} + interval) + " of quiet air");
+    }
+  }
+}
+
+void InvariantMonitor::check_p2p_resolves() {
+  if (!engine_ || !engine_->quiet_for(config_.p2p_quiet)) return;
+
+  for (const auto& domain : bed_.p2p_domains()) {
+    // Live ring members; stabilization has had its quiet window, so every
+    // survivor's view must agree and every binding must sit (at least) on
+    // the member now responsible for its key.
+    std::vector<sip::P2pResolver*> live;
+    for (auto* member : bed_.p2p_ring(domain)) {
+      if (member != nullptr) live.push_back(member);
+    }
+    if (live.empty()) continue;
+
+    for (std::size_t p = 0; p < bed_.phone_count(); ++p) {
+      auto& phone = bed_.phone(p);
+      if (!phone.registered()) continue;
+      const auto& aor_uri = phone.user_agent().config().aor;
+      if (aor_uri.host != domain) continue;
+      const std::string aor = aor_uri.aor();
+
+      // The responsible member: the live node whose id is the key's
+      // clockwise successor (same arithmetic the resolvers route by).
+      const std::uint64_t key = sip::P2pResolver::key_of(aor);
+      sip::P2pResolver* owner = live.front();
+      std::uint64_t best = owner->node_id() - key;
+      for (auto* member : live) {
+        const std::uint64_t d = member->node_id() - key;
+        if (d < best) {
+          best = d;
+          owner = member;
+        }
+      }
+
+      const auto binding = owner->stored(aor);
+      if (!binding) {
+        violate("p2p-resolves", aor,
+                aor + " is registered but its responsible ring node holds "
+                      "no binding after stabilization quiesced");
+        continue;
+      }
+      // "No call routes to a dead contact": the stored contact must be an
+      // address the Internet can actually deliver to right now.
+      const auto contact_ep = binding->contact.numeric_endpoint();
+      if (!contact_ep || !bed_.internet().attached(contact_ep->address)) {
+        violate("p2p-resolves", aor + "/contact",
+                aor + " resolves to unroutable contact " +
+                    binding->contact.to_string());
+      }
     }
   }
 }

@@ -14,6 +14,13 @@
 //                           provider check intervals, every live non-gateway
 //                           node is Internet-attached whenever a live
 //                           gateway remains.
+//   I5 p2p-resolves         once ring stabilization has quiesced (faults
+//                           over, view steady, nobody suspect), every
+//                           registered phone's AOR is stored at the live
+//                           ring member responsible for it, and the stored
+//                           contact routes to an address that is actually
+//                           attached to the Internet -- no lost bindings,
+//                           no calls into dead contacts.
 //
 // The monitor is read-only except for I3's purge pass (it acts as "the next
 // lookup" on every node, since purging is traffic-driven) and draws nothing
@@ -34,6 +41,9 @@ struct InvariantConfig {
   /// I4 fires only after the engine reports this many connection-provider
   /// check intervals of quiet air.
   std::size_t reattach_checks = 4;
+  /// I5 fires only after this much engine quiet (must exceed the rings'
+  /// stabilize_interval * (probe_tolerance + 1) so repair has quiesced).
+  Duration p2p_quiet = seconds(8);
 };
 
 struct InvariantViolation {
@@ -78,6 +88,7 @@ class InvariantMonitor {
   void check_transactions_bounded();
   void check_slp_purges();
   void check_reattaches();
+  void check_p2p_resolves();
   /// Records a violation once per (invariant, key) -- a call stuck for a
   /// minute is one black hole, not sixty.
   void violate(const char* invariant, const std::string& key,

@@ -304,16 +304,19 @@ sip::Registrar& Testbed::add_provider(const std::string& domain,
 
   if (options.resolution == Resolution::kP2p) {
     // The ring: one resolver on the front door plus `p2p_nodes` dedicated
-    // Internet boxes. Membership is wired up-front (Chord-lite; no
-    // stabilization protocol), then the registrar delegates storage and
-    // resolution to its ring node.
+    // Internet boxes. Membership is installed up-front here; from then on
+    // the resolvers' own stabilization timers keep the view live through
+    // crash_ring_node / restart_ring_node churn.
     std::vector<sip::P2pResolver*> ring;
+    std::vector<net::Host*> ring_hosts;
     ring.push_back(new sip::P2pResolver(server));
+    ring_hosts.push_back(&server);
     p2p_resolvers_.emplace_back(ring.back());
     for (std::size_t i = 0; i < options.p2p_nodes; ++i) {
       net::Host& node = add_internet_host("ring-" + domain + "-" +
                                           std::to_string(i));
       ring.push_back(new sip::P2pResolver(node));
+      ring_hosts.push_back(&node);
       p2p_resolvers_.emplace_back(ring.back());
     }
     std::vector<net::Endpoint> members;
@@ -322,8 +325,60 @@ sip::Registrar& Testbed::add_provider(const std::string& domain,
     for (auto* r : ring) r->join(members);
     registrar.set_p2p_resolver(ring.front());
     p2p_rings_[domain] = std::move(ring);
+    p2p_ring_hosts_[domain] = std::move(ring_hosts);
   }
   return registrar;
+}
+
+void Testbed::crash_ring_node(const std::string& domain, std::size_t index) {
+  const auto ring_it = p2p_rings_.find(domain);
+  if (ring_it == p2p_rings_.end() || index == 0 ||
+      index >= ring_it->second.size()) {
+    return;
+  }
+  sip::P2pResolver* victim = ring_it->second[index];
+  if (victim == nullptr) return;  // already down
+  SimContext::Bind bind(sim_->ctx());
+  // Destroying the resolver unbinds its port and cancels its timers and
+  // in-flight lookups: from the ring's point of view the node just went
+  // silent. Peers discover it through unanswered stabilization probes.
+  std::erase_if(p2p_resolvers_,
+                [victim](const std::unique_ptr<sip::P2pResolver>& r) {
+                  return r.get() == victim;
+                });
+  ring_it->second[index] = nullptr;
+}
+
+void Testbed::restart_ring_node(const std::string& domain,
+                                std::size_t index) {
+  const auto ring_it = p2p_rings_.find(domain);
+  if (ring_it == p2p_rings_.end() || index == 0 ||
+      index >= ring_it->second.size()) {
+    return;
+  }
+  if (ring_it->second[index] != nullptr) return;  // already up
+  SimContext::Bind bind(sim_->ctx());
+  net::Host* ring_host = p2p_ring_hosts_.at(domain).at(index);
+  p2p_resolvers_.push_back(std::make_unique<sip::P2pResolver>(*ring_host));
+  sip::P2pResolver* node = p2p_resolvers_.back().get();
+  ring_it->second[index] = node;
+  // Cold boot: empty store, singleton view. The runtime join through the
+  // front door brings membership and re-replication to it.
+  node->join_ring(ring_it->second.front()->endpoint());
+}
+
+bool Testbed::ring_node_alive(const std::string& domain,
+                              std::size_t index) const {
+  const auto ring_it = p2p_rings_.find(domain);
+  return ring_it != p2p_rings_.end() && index < ring_it->second.size() &&
+         ring_it->second[index] != nullptr;
+}
+
+std::vector<std::string> Testbed::p2p_domains() const {
+  std::vector<std::string> domains;
+  domains.reserve(p2p_rings_.size());
+  for (const auto& [domain, ring] : p2p_rings_) domains.push_back(domain);
+  return domains;
 }
 
 std::vector<sip::P2pResolver*> Testbed::p2p_ring(

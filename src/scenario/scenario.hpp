@@ -101,6 +101,21 @@ class Testbed {
   /// self-detects within one check interval and withdraws the service.
   void kill_gateway(std::size_t i) { host(i).detach_wired(); }
 
+  /// Crashes ring node `index` of `domain`'s P2P ring (kP2p providers
+  /// only): the resolver is destroyed mid-run -- its UDP port goes dark,
+  /// its stored replicas are lost -- while the Internet host survives for
+  /// a later restart. Index 0 is the provider front door (it hosts the
+  /// registrar's delegate) and cannot be crashed.
+  void crash_ring_node(const std::string& domain, std::size_t index);
+  /// Rebuilds a crashed ring node's resolver cold (empty record store) and
+  /// rejoins it through the front door -- the runtime join_ring() path
+  /// with membership broadcast and key handoff.
+  void restart_ring_node(const std::string& domain, std::size_t index);
+  /// True while ring node `index` of `domain`'s ring has a live resolver.
+  bool ring_node_alive(const std::string& domain, std::size_t index) const;
+  /// Domains served by a P2P ring (fault targeting, invariant checks).
+  std::vector<std::string> p2p_domains() const;
+
   std::size_t phone_count() const { return phones_.size(); }
   /// Testbed node a phone was added on (for fault targeting).
   std::size_t phone_node(std::size_t index) const {
@@ -177,7 +192,8 @@ class Testbed {
                                const ProviderOptions& options);
 
   /// The P2P ring serving a kP2p provider's domain (front door first);
-  /// empty for registrar-backed providers.
+  /// empty for registrar-backed providers. Crashed members are nullptr
+  /// until restarted.
   std::vector<sip::P2pResolver*> p2p_ring(const std::string& domain) const;
 
   /// The endpoint of a provider's dedicated outbound proxy (only for
@@ -207,6 +223,7 @@ class Testbed {
   std::vector<std::unique_ptr<sip::Registrar>> providers_;
   std::vector<std::unique_ptr<sip::P2pResolver>> p2p_resolvers_;
   std::map<std::string, std::vector<sip::P2pResolver*>> p2p_rings_;
+  std::map<std::string, std::vector<net::Host*>> p2p_ring_hosts_;
   std::vector<std::unique_ptr<sip::OutboundProxy>> provider_proxies_;
   std::map<std::string, net::Endpoint> provider_proxy_endpoints_;
   std::uint32_t next_internet_octet_ = 10;

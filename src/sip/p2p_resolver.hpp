@@ -6,12 +6,21 @@
 // (replicated to `successor_count` successors). Lookups hop greedily
 // through finger tables -- O(log n) hops, each paying one wired RTT -- so
 // gateway-centric vs P2P call-setup cost becomes a measurable tradeoff
-// (EXPERIMENTS.md E11) rather than prose.
+// (EXPERIMENTS.md E11/E12) rather than prose.
 //
-// "Lite": ring membership is wired up-front by the testbed from the full
-// node set (join()), not discovered through Chord's stabilization
-// protocol; this keeps the emulation deterministic while preserving the
-// measured quantities (hops, per-hop latency, storage spread).
+// The overlay is *live* (docs/RESILIENCE.md, "ring faults"): a maintenance
+// timer probes the successor list, repairs membership when probes go
+// unanswered, rebuilds fingers, and re-replicates records on every
+// membership change so each binding keeps `successor_count` live replicas.
+// Nodes join and leave at runtime (join_ring() / leave()) with key
+// handoff; lookups carry a per-hop timeout and retry through the next
+// live finger/successor with exponential backoff and a dead-node
+// suspicion list, so a query survives any single ring-node loss mid-
+// flight. "Lite" still applies to discovery: membership changes are
+// broadcast to the (small) ring rather than discovered through full
+// Chord stabilization gossip -- deterministic, and the measured
+// quantities (hops, per-hop latency, storage spread, repair time) are
+// preserved.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +43,28 @@ struct P2pConfig {
   /// Bindings are replicated to this many ring successors of the
   /// responsible node, so a node loss does not lose the binding.
   std::size_t successor_count = 2;
+  /// End-to-end resolve budget; the per-attempt retry ladder lives inside
+  /// this window.
   Duration lookup_timeout = seconds(2);
+  /// Maintenance timer period: successor probing, failure repair, finger
+  /// fixing. Zero jitter -- stabilization must not perturb the
+  /// deterministic packet schedule.
+  Duration stabilize_interval = seconds(2);
+  /// Consecutive unanswered probes before a successor is declared dead.
+  int probe_tolerance = 2;
+  /// First per-hop GET timeout; doubles per retry attempt.
+  Duration retry_initial = milliseconds(250);
+  /// Retransmissions through an alternate hop after the first GET.
+  int retry_max = 3;
+  /// How long a node stays on the dead-node suspicion list (next_hop
+  /// avoids suspects) before it gets another chance.
+  Duration suspect_ttl = seconds(10);
+  /// In-flight resolve cap: beyond this, new resolves fail immediately
+  /// (p2p.resolve_dropped_total) instead of growing pending_ unbounded.
+  std::size_t max_pending = 64;
+  /// GET forwarding TTL: queries caught in a routing loop mid-churn are
+  /// dropped (p2p.ttl_drops_total), not forwarded forever.
+  int max_hops = 32;
 };
 
 class P2pResolver {
@@ -48,11 +78,19 @@ class P2pResolver {
   /// This node's position on the hash ring (derived from its endpoint).
   std::uint64_t node_id() const { return node_id_; }
   net::Endpoint endpoint() const;
+  net::Host& host() { return host_; }
 
-  /// Installs ring state: `members` is every ring node's endpoint (self
-  /// included). Finger table and successor list are computed from the
-  /// sorted membership -- the Chord-lite substitute for stabilization.
+  /// Installs ring state in one shot: `members` is every ring node's
+  /// endpoint (self included). The testbed uses this to bootstrap a ring;
+  /// from then on the maintenance timer keeps the view live.
   void join(const std::vector<net::Endpoint>& members);
+  /// Runtime join through a live member: announces this node to
+  /// `bootstrap`, which replies with the full membership and broadcasts
+  /// the arrival; existing members hand off records in the new arc.
+  void join_ring(net::Endpoint bootstrap);
+  /// Graceful departure: hands every held record off into the ring, then
+  /// broadcasts the departure and reverts to a singleton view.
+  void leave();
 
   /// Stores aor -> contact at the responsible node (routed through the
   /// ring from here, hop by hop).
@@ -61,13 +99,24 @@ class P2pResolver {
 
   /// Resolves an AOR through the ring. The callback receives the binding
   /// (or nullopt on miss/timeout) and the number of ring hops the query
-  /// travelled.
+  /// travelled (-1 on timeout/drop).
   using ResolveCallback =
       std::function<void(std::optional<ContactBinding>, int hops)>;
   void resolve(const std::string& aor, ResolveCallback callback);
 
   /// Bindings this node is responsible for (replicas included).
   std::size_t stored_records() const { return records_.size(); }
+  /// The unexpired record this node holds for `aor`, if any (invariant
+  /// monitor / test introspection; no metrics side effects).
+  std::optional<ContactBinding> stored(const std::string& aor) const {
+    return records_.lookup(aor, host_.sim().now());
+  }
+  /// Live members in this node's view (self included).
+  std::size_t view_size() const { return view_.size(); }
+  /// True while the view has been steady for a stabilization interval and
+  /// nobody is under suspicion -- the registrar answers resolver misses
+  /// with 480 + Retry-After instead of 404 while this is false.
+  bool stable() const;
   /// The ring id an AOR hashes to (== hash_aor; test introspection).
   static std::uint64_t key_of(const std::string& aor) {
     return hash_aor(aor);
@@ -81,37 +130,79 @@ class P2pResolver {
   };
   struct Pending {
     ResolveCallback callback;
-    sim::EventHandle timeout;
+    sim::EventHandle deadline;  // end-to-end lookup_timeout
+    sim::EventHandle retry;     // per-attempt hop timeout
     TimePoint started{};
+    std::string aor;
+    std::uint64_t key = 0;
+    int attempts = 0;
+    std::vector<std::uint64_t> tried;  // first-hop ids already attempted
   };
 
   static std::uint64_t id_of(net::Endpoint endpoint);
 
   void on_datagram(const net::Datagram& datagram);
-  void handle_put(std::string_view rest);
+  void handle_put(std::string_view verb, std::string_view rest);
   void handle_get(std::string_view rest);
   void handle_result(std::string_view rest);
+  void handle_control(std::string_view verb, std::string_view rest);
   /// True when this node's arc (pred, self] covers `key`.
   bool responsible_for(std::uint64_t key) const;
   /// The ring node to forward a message keyed on `key` to: the closest
-  /// finger preceding the key, falling back to our successor.
+  /// preceding live finger, falling back to the first live successor.
+  /// Suspects are skipped unless every candidate is suspect.
   const RingNode* next_hop(std::uint64_t key) const;
+  /// First-hop choice for attempt N of a lookup: greedy (== next_hop) for
+  /// the first attempt, then straight at the owner/replica chain of `key`
+  /// -- any holder answers from its local store, so a single dead node
+  /// always leaves a live candidate. Skips `tried` and suspects.
+  const RingNode* retry_hop(std::uint64_t key,
+                            const std::vector<std::uint64_t>& tried) const;
   void send_line(net::Endpoint dst, const std::string& line);
   void store_record(const std::string& aor, const Uri& contact,
                     TimePoint expires, bool replicate);
   Counter& counter(const std::string& name);
+  void count_decode_error();
+
+  // --- live membership -----------------------------------------------------
+  /// Recomputes predecessor, successor list and fingers from view_.
+  void rebuild_routes();
+  /// Adds/removes a member; on change: rebuild + re-replicate. Returns
+  /// true when the view actually changed.
+  bool add_member(net::Endpoint ep);
+  bool remove_member(std::uint64_t id);
+  /// Re-homes every held record after a membership change: records this
+  /// node owns are re-replicated to the (new) successor list; records it
+  /// merely holds are PUT back into the ring so the new owner has them.
+  void sync_records();
+  void broadcast(const std::string& line);
+  void on_stabilize_tick();
+  void declare_dead(const RingNode& node);
+  void purge_suspects();
+  void send_attempt(std::uint64_t request);
+  void on_retry(std::uint64_t request);
+  void finish(std::uint64_t request, std::optional<ContactBinding> binding,
+              int hops);
 
   net::Host& host_;
   P2pConfig config_;
   Logger log_;
   std::uint64_t node_id_;
   std::uint64_t predecessor_id_ = 0;
+  std::vector<RingNode> view_;        // full membership incl self, sorted
   std::vector<RingNode> fingers_;     // dedup'd, sorted by id
   std::vector<RingNode> successors_;  // ring order after self
+  std::map<std::uint64_t, TimePoint> suspects_;   // id -> suspicion expiry
+  std::map<std::uint64_t, int> probe_misses_;     // id -> unanswered probes
+  /// Set by leave(): a departed node ignores membership traffic (late
+  /// PINGs / JOINED broadcasts must not resurrect it) until it rejoins.
+  bool left_ = false;
+  TimePoint last_view_change_{};
   SingleMapStore records_;            // keys this node is responsible for
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_request_ = 0;
   sim::PeriodicTimer gc_;
+  sim::PeriodicTimer maintenance_;
 };
 
 }  // namespace siphoc::sip

@@ -292,6 +292,22 @@ void Registrar::forward_request(Message request, net::Endpoint from) {
     // the request parks here until the ring answers or times out.
     p2p_->resolve(aor, [this, request = std::move(request), from](
                            std::optional<ContactBinding> binding, int) mutable {
+      if (!binding && !p2p_->stable()) {
+        // The ring is mid-repair: the binding may exist on a node we could
+        // not reach yet. 480 + Retry-After tells the proxy to try again
+        // after stabilization instead of surfacing a terminal 404.
+        counter("registrar.retry_after_total").add();
+        log_.info(request.method(), " for ", request.request_uri().aor(),
+                  ": ring unstable -> 480 retry-after");
+        if (request.method() != kAck) {
+          Message response = Message::response_to(request, 480);
+          response.set_header("retry-after", "1");
+          if (!transport_.send_response(response)) {
+            transport_.send(response, from);
+          }
+        }
+        return;
+      }
       forward_to_binding(std::move(request), from, std::move(binding));
     });
     return;

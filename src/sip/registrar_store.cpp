@@ -38,6 +38,12 @@ std::size_t SingleMapStore::purge_expired(TimePoint now) {
   return purged;
 }
 
+void SingleMapStore::for_each(
+    const std::function<void(const std::string&, const ContactBinding&)>& fn)
+    const {
+  for (const auto& [aor, binding] : bindings_) fn(aor, binding);
+}
+
 // ---------------------------------------------------------------------------
 // Hashing
 // ---------------------------------------------------------------------------
@@ -398,6 +404,24 @@ std::size_t ShardedBindingStore::purge_expired(TimePoint now) {
     collect(shard);
   }
   return purged;
+}
+
+void ShardedBindingStore::for_each(
+    const std::function<void(const std::string&, const ContactBinding&)>& fn)
+    const {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    // Writer-side walk under the shard lock: entries cannot be retired
+    // underneath us, and the visit order (shard, then slot) is stable for
+    // a given key population -- determinism for the handoff sweeps.
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    const Table* table = shard.table.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < table->capacity(); ++i) {
+      const Entry* e = table->slots[i].load(std::memory_order_acquire);
+      if (e == nullptr || e == tombstone()) continue;
+      fn(e->aor, ContactBinding{e->contact, e->expires});
+    }
+  }
 }
 
 }  // namespace siphoc::sip

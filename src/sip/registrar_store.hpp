@@ -26,6 +26,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,15 @@ class BindingStore {
   virtual std::size_t size() const = 0;
   /// Backend label for logs/bench rows.
   virtual std::string_view name() const = 0;
+  /// Visits every stored binding -- expired-but-unpurged entries included;
+  /// callers filter by expiry themselves. This is the replica-handoff
+  /// iteration the P2P ring needs when membership changes (a node must
+  /// re-home or re-replicate what it holds). The sharded backend holds
+  /// each shard's write lock while visiting it, so the callback must not
+  /// reenter the store.
+  virtual void for_each(
+      const std::function<void(const std::string& aor,
+                               const ContactBinding& binding)>& fn) const = 0;
 };
 
 /// The seed's backend: one ordered map, scans to expire. Correct, simple,
@@ -81,6 +91,9 @@ class SingleMapStore final : public BindingStore {
   std::size_t purge_expired(TimePoint now) override;
   std::size_t size() const override { return bindings_.size(); }
   std::string_view name() const override { return "single-map"; }
+  void for_each(
+      const std::function<void(const std::string&, const ContactBinding&)>&
+          fn) const override;
 
  private:
   std::map<std::string, ContactBinding> bindings_;
@@ -121,6 +134,9 @@ class ShardedBindingStore final : public BindingStore {
   std::size_t purge_expired(TimePoint now) override;
   std::size_t size() const override;
   std::string_view name() const override { return "sharded"; }
+  void for_each(
+      const std::function<void(const std::string&, const ContactBinding&)>&
+          fn) const override;
 
   std::size_t shard_count() const { return shards_.size(); }
   /// Which shard owns `aor` on the consistent-hash ring (bench/test

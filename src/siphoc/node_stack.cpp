@@ -29,8 +29,11 @@ NodeStack::NodeStack(net::Host& host, net::Internet* internet,
                                                  config_.gateway);
   }
   if (config_.run_connection_provider) {
+    // Reachability flips reach the proxy: a re-attach may carry a fresh
+    // tunnel lease, and upstream provider bindings must follow it.
     connection_ = std::make_unique<ConnectionProvider>(
-        host_, *slp_, config_.connection);
+        host_, *slp_, config_.connection,
+        [this](bool online) { proxy_->on_internet_change(online); });
   }
   proxy_->set_internet_address_fn([this] {
     if (connection_) return connection_->internet_address();

@@ -29,7 +29,10 @@ SiphocProxy::SiphocProxy(net::Host& host, slp::Directory& directory,
   });
 }
 
-SiphocProxy::~SiphocProxy() { upstream_flush_.cancel(); }
+SiphocProxy::~SiphocProxy() {
+  upstream_flush_.cancel();
+  for (auto& timer : retry_timers_) timer.cancel();
+}
 
 std::optional<SiphocProxy::Binding> SiphocProxy::binding(
     const std::string& user) const {
@@ -125,6 +128,7 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
 
   if (expires == 0) {
     bindings_.erase(user);
+    upstream_replay_.erase(aor);
     directory_.deregister_service(std::string(slp::kSipContactService), aor);
   } else {
     const auto contact_ep = contact->uri.numeric_endpoint();
@@ -157,6 +161,12 @@ void SiphocProxy::handle_register(Message request, net::Endpoint from) {
   const net::Address inet = current_internet_address();
   if (!inet.is_unspecified()) {
     if (const auto provider = resolve_provider(to->uri.host)) {
+      if (expires != 0) {
+        // Keep the pristine REGISTER around: a later re-attach under a new
+        // tunnel lease replays it so the provider learns the new contact.
+        upstream_replay_[aor] = PendingUpstream{request, *provider};
+        last_upstream_inet_ = inet;
+      }
       if (is_refresh && expires != 0 &&
           config_.upstream_refresh_window > Duration::zero()) {
         // Coalesce: answer the phone locally, park the upstream relay --
@@ -218,6 +228,32 @@ void SiphocProxy::flush_upstream_refreshes() {
     ++stats_.upstream_registers;
     proxy_counter(host_, "proxy.upstream_registers_total").add();
     forward_request(std::move(p.request), p.provider);
+  }
+}
+
+void SiphocProxy::on_internet_change(bool online) {
+  if (!online) return;
+  const net::Address inet = current_internet_address();
+  if (inet.is_unspecified() || inet == last_upstream_inet_) return;
+  last_upstream_inet_ = inet;
+  const TimePoint now = host_.sim().now();
+  for (auto it = upstream_replay_.begin(); it != upstream_replay_.end();) {
+    // Drop replays whose local binding is gone or expired.
+    const auto to = it->second.request.to();
+    std::optional<Binding> bound;
+    if (to) bound = binding(to->uri.user);
+    if (!bound || bound->expires <= now) {
+      it = upstream_replay_.erase(it);
+      continue;
+    }
+    ++stats_.upstream_rebinds;
+    proxy_counter(host_, "proxy.upstream_rebinds_total").add();
+    ++stats_.upstream_registers;
+    proxy_counter(host_, "proxy.upstream_registers_total").add();
+    log_.info("re-attached as ", inet.to_string(), "; rebinding ", it->first,
+              " upstream");
+    forward_request(it->second.request, it->second.provider);
+    ++it;
   }
 }
 
@@ -320,6 +356,24 @@ void SiphocProxy::forward_via_internet(Message request,
   }
   ++stats_.internet_forwards;
   proxy_counter(host_, "proxy.internet_forwards_total").add();
+
+  // Park a pre-Via copy so a 480 + Retry-After from the provider (its P2P
+  // ring is mid-repair) can trigger one delayed re-forward. Bounded: prune
+  // what expired, and when the window is full just forgo retryability.
+  if (request.method() != sip::kAck) {
+    const TimePoint now = host_.sim().now();
+    for (auto it = retryable_.begin(); it != retryable_.end();) {
+      it = it->second.expires <= now ? retryable_.erase(it) : std::next(it);
+    }
+    if (retryable_.size() < kMaxRetryable) {
+      std::string key = request.call_id();
+      if (const auto cseq = request.cseq()) {
+        key += " " + cseq->to_string();
+      }
+      retryable_[key] = RetryableForward{request, domain, from,
+                                         now + seconds(32)};
+    }
+  }
   forward_request(std::move(request), *provider);
 }
 
@@ -365,6 +419,43 @@ void SiphocProxy::forward_response(Message response) {
     return;
   }
   response.pop_via();
+
+  // 480 + Retry-After from a provider whose resolution ring is still
+  // stabilizing: swallow the failure and re-forward the parked request
+  // once, after the indicated delay, instead of relaying it to the caller.
+  if (response.status() == 480) {
+    if (const auto after = response.header("retry-after")) {
+      std::string key = response.call_id();
+      if (const auto cseq = response.cseq()) {
+        key += " " + cseq->to_string();
+      }
+      const auto it = retryable_.find(key);
+      if (it != retryable_.end() &&
+          it->second.expires > host_.sim().now()) {
+        RetryableForward parked = std::move(it->second);
+        retryable_.erase(it);  // one retry per forwarded request
+        int delay_s = 1;
+        int parsed = 0;
+        const auto [ptr, ec] = std::from_chars(
+            after->data(), after->data() + after->size(), parsed);
+        if (ec == std::errc{} && parsed > 0 && parsed <= 16) delay_s = parsed;
+        ++stats_.retry_after_retries;
+        proxy_counter(host_, "proxy.retry_after_retries_total").add();
+        log_.info("provider asked to retry ",
+                  parked.request.request_uri().aor(), " after ", delay_s,
+                  "s (ring stabilizing)");
+        std::erase_if(retry_timers_,
+                      [](const sim::EventHandle& h) { return !h.pending(); });
+        retry_timers_.push_back(host_.sim().schedule(
+            seconds(delay_s), [this, parked = std::move(parked)]() mutable {
+              forward_via_internet(std::move(parked.request), parked.domain,
+                                   parked.from);
+            }));
+        return;
+      }
+    }
+  }
+
   const auto next = response.top_via();
   if (!next) return;
   auto dst = next->response_endpoint();

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "sim/simulator.hpp"
@@ -71,6 +72,13 @@ class SiphocProxy {
     dns_ = std::move(fn);
   }
 
+  /// Connection-provider hook: Internet reachability flipped. On re-attach
+  /// the node's Internet-visible address may have changed (a new tunnel
+  /// lease, possibly from a different gateway), which silently invalidates
+  /// every contact this proxy registered upstream -- so each locally bound
+  /// AOR's REGISTER is replayed toward its provider with the new address.
+  void on_internet_change(bool online);
+
   net::Endpoint manet_endpoint() const {
     return {host_.manet_address(), config_.port};
   }
@@ -86,6 +94,8 @@ class SiphocProxy {
     std::uint64_t delivered_local = 0;
     std::uint64_t upstream_refreshes_coalesced = 0;
     std::uint64_t upstream_refresh_flushes = 0;
+    std::uint64_t retry_after_retries = 0;
+    std::uint64_t upstream_rebinds = 0;
   };
   const ProxyStats& stats() const { return stats_; }
 
@@ -143,6 +153,26 @@ class SiphocProxy {
   std::map<std::string, PendingUpstream> pending_upstream_;
   bool upstream_flush_scheduled_ = false;
   sim::EventHandle upstream_flush_;
+
+  // Last REGISTER relayed upstream per AOR (pre-Via, pre-rewrite), kept so
+  // a re-attach under a fresh tunnel lease can replay it -- the provider
+  // would otherwise keep serving the dead address until the phone's own
+  // refresh, hours later.
+  std::map<std::string, PendingUpstream> upstream_replay_;
+  net::Address last_upstream_inet_;
+
+  // Internet-forwarded requests kept around briefly so a provider's
+  // 480 + Retry-After (P2P ring mid-repair) can be answered with ONE
+  // delayed re-forward instead of surfacing the failure to the caller.
+  struct RetryableForward {
+    sip::Message request;  // pre-Via copy
+    std::string domain;
+    net::Endpoint from;
+    TimePoint expires{};
+  };
+  static constexpr std::size_t kMaxRetryable = 16;
+  std::map<std::string, RetryableForward> retryable_;  // call-id + cseq
+  std::vector<sim::EventHandle> retry_timers_;
 };
 
 }  // namespace siphoc

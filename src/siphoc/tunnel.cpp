@@ -106,7 +106,13 @@ void TunnelServer::on_packet(const net::Datagram& d) {
         }
       }
       if (assigned.is_unspecified()) {
-        assigned = net::Address{net::kTunnelPrefix.value() |
+        // Lease from this gateway's own /24 slice of the tunnel realm
+        // (10.8.<manet octet>.N): with several gateways up at once, every
+        // lease must stay globally unique on the Internet segment or
+        // responses to one client would be relayed down another's tunnel.
+        const std::uint32_t slice =
+            (host_.manet_address().value() & 0xffu) << 8;
+        assigned = net::Address{net::kTunnelPrefix.value() | slice |
                                 next_client_octet_++};
         Client client;
         client.tunnel_address = assigned;

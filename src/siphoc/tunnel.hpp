@@ -6,7 +6,9 @@
 //  connection is automatically attached to the Internet as well."
 //
 // Emulation: IP-in-UDP encapsulation on port 5100. The server assigns the
-// client an address from 10.8.0.0/24, attaches that address to the Internet
+// client an address from its own slice of 10.8.0.0/16 (the /24 keyed by
+// the gateway's MANET octet, so concurrent gateways never hand out the
+// same lease), attaches that address to the Internet
 // segment on the client's behalf (bridging, as an L2 tunnel does), and
 // relays datagrams both ways. The client installs a tunnel interface plus
 // routes for the Internet and tunnel prefixes, with keepalive-based failure

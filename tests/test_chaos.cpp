@@ -40,9 +40,11 @@ at 10500ms reorder 0.1 25ms
 at 15s jam 1,2
 at 18s unjam 1,2
 at 40s kill-gateway 0
+at 20s ring-crash 2
+at 35s ring-restart 2
 )");
   ASSERT_TRUE(plan) << plan.error().message;
-  EXPECT_EQ(plan->events.size(), 11u);
+  EXPECT_EQ(plan->events.size(), 13u);
   // Sorted by time.
   EXPECT_EQ(plan->events.front().kind, FaultEvent::Kind::kPartition);
   EXPECT_EQ(plan->events.back().kind, FaultEvent::Kind::kKillGateway);
@@ -109,6 +111,45 @@ TEST(FaultPlanTest, GenerateIsDeterministicAndSafe) {
   EXPECT_TRUE(saw_loss);
   EXPECT_EQ(crashes, restarts);  // the network always comes back
   EXPECT_EQ(partitions, heals);
+}
+
+TEST(FaultPlanTest, GenerateWithRingNodesAppendsRingChurn) {
+  // Without ring nodes: plans are byte-identical to the default form --
+  // the ring stream draws strictly after every other stream.
+  const auto base = FaultPlan::generate(7, seconds(120), 6, {1, 4});
+  const auto with_ring = FaultPlan::generate(7, seconds(120), 6, {1, 4}, 4);
+  EXPECT_EQ(base.to_string(),
+            FaultPlan::generate(7, seconds(120), 6, {1, 4}, 0).to_string());
+
+  int ring_crashes = 0;
+  int ring_restarts = 0;
+  Duration down_at{};
+  Duration up_at{};
+  for (const auto& event : with_ring.events) {
+    if (event.kind == FaultEvent::Kind::kRingCrash) {
+      ++ring_crashes;
+      down_at = event.at;
+      ASSERT_EQ(event.nodes.size(), 1u);
+      // Ring index: 1..ring_nodes (0 is the front door, never crashed).
+      EXPECT_GE(event.nodes[0], 1u);
+      EXPECT_LE(event.nodes[0], 4u);
+    } else if (event.kind == FaultEvent::Kind::kRingRestart) {
+      ++ring_restarts;
+      up_at = event.at;
+    }
+  }
+  EXPECT_EQ(ring_crashes, 1);
+  EXPECT_EQ(ring_restarts, 1);  // always paired: the ring ends whole
+  EXPECT_LT(down_at, up_at);
+  // Every non-ring event is unchanged by the ring stream.
+  std::string base_text = base.to_string();
+  for (const auto& event : with_ring.events) {
+    if (event.kind != FaultEvent::Kind::kRingCrash &&
+        event.kind != FaultEvent::Kind::kRingRestart) {
+      EXPECT_NE(base_text.find(event.to_string()), std::string::npos)
+          << event.to_string();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +315,98 @@ void run_soak(std::uint64_t seed) {
 TEST(ChaosSoakTest, Seed101) { run_soak(101); }
 TEST(ChaosSoakTest, Seed202) { run_soak(202); }
 TEST(ChaosSoakTest, Seed303) { run_soak(303); }
+
+/// Chaos with a P2P provider: the fault plan crashes a ring member (losing
+/// its stored replicas), stabilization repairs the overlay and
+/// re-replicates, the member rejoins at runtime -- and afterwards I5 holds
+/// and every registered AOR still resolves. The no-lost-binding statement.
+void run_p2p_soak(std::uint64_t seed) {
+  SCOPED_TRACE("p2p soak seed " + std::to_string(seed));
+  Options o;
+  o.seed = seed;
+  o.nodes = 4;
+  o.spacing = 80;
+  Testbed bed(o);
+  bed.make_gateway(0);
+  bed.make_gateway(3);
+  Testbed::ProviderOptions po;
+  po.resolution = Testbed::Resolution::kP2p;
+  po.p2p_nodes = 4;
+  bed.add_provider("voicehoc.ch", po);
+  bed.start();
+  auto& alice = bed.add_phone(1, "alice");
+  auto& bob = bed.add_phone(2, "bob");
+  bed.settle(seconds(5));
+  ASSERT_TRUE(bed.register_and_wait(alice));
+  ASSERT_TRUE(bed.register_and_wait(bob));
+
+  // Every MANET node is protected: ring churn is the subject under test
+  // (and stable gateways keep the published tunnel contacts routable, so
+  // I5's dead-contact clause can only be tripped by the ring itself).
+  const Duration duration = seconds(45);
+  const FaultPlan plan =
+      FaultPlan::generate(seed, duration, o.nodes, {0, 1, 2, 3},
+                          po.p2p_nodes);
+  FaultEngine engine(bed);
+  InvariantMonitor monitor(bed, &engine);
+  engine.apply(plan);
+  monitor.start(seconds(1));
+
+  std::size_t established = 0;
+  const TimePoint end = bed.sim().now() + duration;
+  while (bed.sim().now() < end) {
+    const auto result =
+        bed.call_and_wait(alice, "bob@voicehoc.ch", seconds(8));
+    if (result.established) {
+      ++established;
+      bed.run_for(seconds(3));
+      alice.hang_up(result.call);
+    }
+    bed.run_for(seconds(2));
+  }
+
+  bed.run_for(seconds(30));
+  monitor.stop();
+  monitor.check();
+
+  EXPECT_TRUE(monitor.report().ok()) << monitor.report().to_string();
+  EXPECT_GT(established, 0u);
+
+  // The plan crashed and restarted one ring member.
+  const auto& narration = engine.narration();
+  const auto saw = [&](const std::string& what) {
+    for (const auto& line : narration) {
+      if (line.find(what) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw("ring-crash")) << "plan never crashed a ring member";
+  EXPECT_TRUE(saw("ring-restart"));
+
+  // The ring is whole and stable again...
+  const auto ring = bed.p2p_ring("voicehoc.ch");
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ASSERT_NE(ring[i], nullptr) << "ring member " << i << " still down";
+    EXPECT_EQ(ring[i]->view_size(), ring.size());
+    EXPECT_TRUE(ring[i]->stable());
+  }
+  // ... and lookup success after stabilization is 100%.
+  for (const char* aor : {"alice@voicehoc.ch", "bob@voicehoc.ch"}) {
+    bool done = false;
+    bool hit = false;
+    ring.front()->resolve(aor, [&](std::optional<sip::ContactBinding> b,
+                                   int) {
+      done = true;
+      hit = b.has_value();
+    });
+    bed.run_for(seconds(3));
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(hit) << aor << " lost after ring churn";
+  }
+}
+
+TEST(ChaosSoakTest, P2pRingChurnSeed77) { run_p2p_soak(77); }
+TEST(ChaosSoakTest, P2pRingChurnSeed88) { run_p2p_soak(88); }
 
 /// Same seed, twice: the entire run -- fault schedule, packet schedule,
 /// metric registry -- must be identical.

@@ -4,10 +4,19 @@
 // input: a MANET accepts packets from anyone in radio range.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/metrics.hpp"
 #include "common/random.hpp"
+#include "net/host.hpp"
+#include "net/internet.hpp"
 #include "net/packet.hpp"
 #include "rtp/rtp.hpp"
 #include "sip/message.hpp"
+#include "sip/p2p_resolver.hpp"
 #include "sip/sdp.hpp"
 #include "siphoc/tunnel.hpp"
 #include "slp/service.hpp"
@@ -274,6 +283,185 @@ TEST_P(FuzzSeeds, UriRoundTripProperty) {
     ASSERT_TRUE(parsed) << uri.to_string();
     EXPECT_EQ(*parsed, uri);
   }
+}
+
+// ---------------------------------------------------------------------------
+// P2P ring line protocol (sip/p2p_resolver.cpp): a ring node's UDP port is
+// open to anyone on the Internet side, so every PUT/GET/RES/DEL and
+// control line is hostile input. Malformed lines must be *counted*
+// (p2p.decode_errors_total) and never crash or wedge the ring.
+// ---------------------------------------------------------------------------
+
+/// Three live ring nodes plus an attacker host that injects raw datagrams
+/// into node 0's resolver port.
+class P2pFuzzRig {
+ public:
+  explicit P2pFuzzRig(std::uint64_t seed)
+      : sim_(seed), internet_(sim_, milliseconds(5)) {
+    std::vector<net::Endpoint> members;
+    for (int i = 0; i < 3; ++i) {
+      auto host = std::make_unique<net::Host>(
+          sim_, static_cast<net::NodeId>(150 + i),
+          "ring-f" + std::to_string(i));
+      host->attach_wired(internet_, net::Address(192, 0, 2, 60 + i));
+      auto resolver = std::make_unique<sip::P2pResolver>(*host);
+      members.push_back(resolver->endpoint());
+      hosts_.push_back(std::move(host));
+      resolvers_.push_back(std::move(resolver));
+    }
+    members_ = members;
+    for (auto& r : resolvers_) r->join(members);
+    attacker_ = std::make_unique<net::Host>(
+        sim_, static_cast<net::NodeId>(199), "attacker");
+    attacker_->attach_wired(internet_, net::Address(192, 0, 2, 99));
+  }
+
+  void inject(const std::string& line) {
+    attacker_->send_udp(5070, resolvers_[0]->endpoint(), to_bytes(line));
+  }
+
+  double decode_errors() {
+    double total = 0;
+    for (int i = 0; i < 3; ++i) {
+      const auto* c = sim_.ctx().metrics().find_counter(
+          "p2p.decode_errors_total", "ring-f" + std::to_string(i), "p2p");
+      if (c != nullptr) total += c->value();
+    }
+    return total;
+  }
+
+  /// The ring must still work after a storm: reinstall the true
+  /// membership (fuzzed JOIN/DEAD lines may have perturbed views), then
+  /// publish and resolve a binding end to end.
+  void expect_still_functional() {
+    for (auto& r : resolvers_) r->join(members_);
+    const std::string aor = "survivor@voicehoc.ch";
+    resolvers_[0]->publish(
+        aor, sip::Uri::from_endpoint({net::Address(192, 0, 2, 77), 5060}, "u"),
+        sim_.now() + seconds(600));
+    sim_.run_for(seconds(1));
+    bool done = false, hit = false;
+    resolvers_[1]->resolve(aor,
+                           [&](std::optional<sip::ContactBinding> b, int) {
+                             done = true;
+                             hit = b.has_value();
+                           });
+    const TimePoint deadline = sim_.now() + seconds(5);
+    while (!done && sim_.now() < deadline) sim_.run_for(milliseconds(5));
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(hit) << "ring wedged by hostile input";
+  }
+
+  sim::Simulator sim_;
+  net::Internet internet_;
+  std::vector<net::Endpoint> members_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<sip::P2pResolver>> resolvers_;
+  std::unique_ptr<net::Host> attacker_;
+};
+
+/// One valid exemplar of every protocol line the ring parses.
+const std::vector<std::string>& p2p_exemplar_lines() {
+  static const std::vector<std::string> lines = {
+      "PUT alice@voicehoc.ch 123456789 sip:u@192.0.2.77:5060",
+      "REP alice@voicehoc.ch 123456789 sip:u@192.0.2.77:5060",
+      "GET 42 192.0.2.99:5070 1 alice@voicehoc.ch",
+      "RES 42 3 found 123456789 sip:u@192.0.2.77:5060",
+      "RES 42 3 miss",
+      "DEL alice@voicehoc.ch",
+      "RDEL alice@voicehoc.ch",
+      "JOIN 192.0.2.99:5070",
+      "JOINED 192.0.2.99:5070",
+      "LEAVE 192.0.2.61:5070",
+      "DEAD 192.0.2.62:5070",
+      "MEMB 192.0.2.60:5070 192.0.2.61:5070 192.0.2.62:5070",
+      "PING 7 192.0.2.61:5070",
+      "PONG 7 192.0.2.61:5070",
+  };
+  return lines;
+}
+
+TEST_P(FuzzSeeds, P2pRingSurvivesRandomDatagrams) {
+  P2pFuzzRig rig(GetParam() ^ 0x2b20);
+  Rng rng(GetParam() ^ 0x2b2b);
+  for (int i = 0; i < 400; ++i) {
+    rig.inject(to_string(random_bytes(rng, 200)));
+    if (i % 50 == 0) rig.sim_.run_for(milliseconds(20));
+  }
+  rig.sim_.run_for(seconds(1));
+  EXPECT_GT(rig.decode_errors(), 0.0);
+  rig.expect_still_functional();
+}
+
+TEST_P(FuzzSeeds, P2pRingSurvivesMutatedProtocolLines) {
+  P2pFuzzRig rig(GetParam());
+  Rng rng(GetParam() ^ 0x3c3c);
+  for (int round = 0; round < 40; ++round) {
+    for (const auto& line : p2p_exemplar_lines()) {
+      rig.inject(mutate(line, rng));
+    }
+    rig.sim_.run_for(milliseconds(20));
+  }
+  rig.sim_.run_for(seconds(1));
+  rig.expect_still_functional();
+}
+
+TEST_P(FuzzSeeds, P2pRingSurvivesTruncationAndBitFlips) {
+  P2pFuzzRig rig(GetParam() ^ 0x4d40);
+  Rng rng(GetParam() ^ 0x4d4d);
+  for (const auto& line : p2p_exemplar_lines()) {
+    // Every strict prefix, plus the same prefix with one bit flipped.
+    for (std::size_t len = 0; len < line.size(); ++len) {
+      rig.inject(line.substr(0, len));
+      if (len > 0) {
+        std::string flipped = line.substr(0, len);
+        const auto pos = rng.uniform_int(
+            0, static_cast<std::uint32_t>(flipped.size() - 1));
+        flipped[pos] = static_cast<char>(
+            static_cast<std::uint8_t>(flipped[pos]) ^
+            (1u << rng.uniform_int(0, 7)));
+        rig.inject(flipped);
+      }
+    }
+    rig.sim_.run_for(milliseconds(50));
+  }
+  rig.sim_.run_for(seconds(1));
+  EXPECT_GT(rig.decode_errors(), 0.0);
+  rig.expect_still_functional();
+}
+
+TEST(P2pProtocolAbuseTest, UnknownVerbsAndFieldAbuseAreCountedNotFatal) {
+  P2pFuzzRig rig(4242);
+  const std::vector<std::string> abuse = {
+      "NOPE alice@voicehoc.ch",          // unknown verb
+      "noverbatall",                     // no space at all
+      "PUT",                             // verb only (no rest -> no space)
+      "PUT a@x",                         // too few PUT fields
+      "PUT a@x notanumber ???",          // unparseable contact URI
+      "GET 1 nonsense 1 a@x",            // unparseable origin endpoint
+      "GET 1 192.0.2.99:5070 1",         // too few GET fields
+      "RES 1 2",                         // too few RES fields
+      "RES 1 2 bogus",                   // neither found nor miss (dropped
+                                         // as a late duplicate: uncounted)
+      "RES 1 2 found 3",                 // found w/o contact (ditto)
+      "DEL ",                            // empty aor
+      "JOIN ",                           // empty endpoint
+      "JOIN not-an-endpoint",            // unparseable endpoint
+      "JOIN 1.2.3.4:5 6.7.8.9:10",       // too many endpoints
+      "DEAD what.is.this",               // unparseable endpoint
+      "PING 7",                          // missing origin
+      "PONG 7 gibberish",                // unparseable origin
+      "MEMB ???",                        // unparseable member
+  };
+  const double before = rig.decode_errors();
+  for (const auto& line : abuse) rig.inject(line);
+  rig.sim_.run_for(seconds(1));
+  // The two RES abuses die on the late-duplicate check (request 1 is not
+  // pending) before field validation, so they are dropped uncounted.
+  EXPECT_GE(rig.decode_errors() - before,
+            static_cast<double>(abuse.size() - 2))
+      << "every abusive line must count at least one decode error";
+  rig.expect_still_functional();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

@@ -4,6 +4,12 @@
 // ring, INVITE resolves through it).
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/context.hpp"
+#include "common/metrics.hpp"
 #include "scenario/scenario.hpp"
 #include "sip/p2p_resolver.hpp"
 #include "sip/registrar.hpp"
@@ -136,6 +142,204 @@ TEST_F(P2pRingFixture, ManyKeysSpreadOverTheRing) {
   // Spot-check resolvability.
   EXPECT_TRUE(resolve_blocking(7, "user0@x").first);
   EXPECT_TRUE(resolve_blocking(0, "user199@x").first);
+}
+
+// ---------------------------------------------------------------------------
+// Live overlay: runtime churn, key handoff, repair, retry
+// (docs/RESILIENCE.md, "ring faults")
+// ---------------------------------------------------------------------------
+
+/// The live member responsible for `aor` under successor placement: the
+/// first live node clockwise at-or-after the key (same arithmetic the
+/// resolver and the I5 invariant use).
+P2pResolver* responsible_member(const std::vector<P2pResolver*>& live,
+                                const std::string& aor) {
+  const std::uint64_t key = P2pResolver::key_of(aor);
+  P2pResolver* owner = nullptr;
+  std::uint64_t best = ~0ull;
+  for (P2pResolver* r : live) {
+    const std::uint64_t d = r->node_id() - key;  // clockwise, wraps
+    if (owner == nullptr || d < best) {
+      owner = r;
+      best = d;
+    }
+  }
+  return owner;
+}
+
+class P2pChurnFixture : public P2pRingFixture {
+ protected:
+  std::vector<std::string> publish_many(std::size_t count) {
+    std::vector<std::string> aors;
+    for (std::size_t i = 0; i < count; ++i) {
+      aors.push_back("churn" + std::to_string(i) + "@voicehoc.ch");
+      resolvers_[i % kNodes]->publish(aors.back(),
+                                      contact(static_cast<int>(1 + i % 20)),
+                                      sim_.now() + seconds(600));
+    }
+    sim_.run_for(seconds(1));
+    return aors;
+  }
+
+  std::vector<P2pResolver*> live_members() {
+    std::vector<P2pResolver*> live;
+    for (auto& r : resolvers_) {
+      if (r) live.push_back(r.get());
+    }
+    return live;
+  }
+};
+
+TEST_F(P2pChurnFixture, RuntimeJoinThenLeaveKeepsEveryBinding) {
+  const auto aors = publish_many(24);
+
+  // A ninth node joins at runtime through node 0. Every member must learn
+  // of it, and records in its new arc must be handed off to it.
+  auto joiner_host = std::make_unique<net::Host>(
+      sim_, static_cast<net::NodeId>(200), "ring-joiner");
+  joiner_host->attach_wired(internet_, net::Address(192, 0, 2, 50));
+  auto joiner = std::make_unique<P2pResolver>(*joiner_host);
+  joiner->join_ring(resolvers_[0]->endpoint());
+  sim_.run_for(seconds(5));
+
+  EXPECT_EQ(joiner->view_size(), kNodes + 1);
+  for (const auto& r : resolvers_) EXPECT_EQ(r->view_size(), kNodes + 1);
+
+  auto live = live_members();
+  live.push_back(joiner.get());
+  for (const auto& aor : aors) {
+    EXPECT_TRUE(responsible_member(live, aor)->stored(aor))
+        << aor << " not held by its post-join owner";
+    EXPECT_TRUE(resolve_blocking(3, aor).first) << aor;
+  }
+
+  // Graceful departure: records in the joiner's arc are handed to its
+  // successor and the ring reverts to the original eight members.
+  joiner->leave();
+  sim_.run_for(seconds(5));
+  EXPECT_EQ(joiner->view_size(), 1u);
+  for (const auto& r : resolvers_) EXPECT_EQ(r->view_size(), kNodes);
+  live = live_members();
+  for (const auto& aor : aors) {
+    EXPECT_TRUE(responsible_member(live, aor)->stored(aor))
+        << aor << " lost across leave()";
+    EXPECT_TRUE(resolve_blocking(0, aor).first) << aor;
+  }
+}
+
+TEST_F(P2pChurnFixture, CrashedMemberIsDetectedAndRecordsReReplicated) {
+  const auto aors = publish_many(24);
+
+  // Hard crash: the resolver is destroyed, its port goes dark, its stored
+  // replicas are gone. Stabilization probes must notice within
+  // probe_tolerance intervals, repair every view, and re-replicate until
+  // each binding again has successor_count live replicas.
+  resolvers_[5].reset();
+  sim_.run_for(seconds(14));
+
+  const auto live = live_members();
+  ASSERT_EQ(live.size(), kNodes - 1);
+  for (P2pResolver* r : live) EXPECT_EQ(r->view_size(), kNodes - 1);
+
+  for (const auto& aor : aors) {
+    EXPECT_TRUE(responsible_member(live, aor)->stored(aor))
+        << aor << " lost in the crash";
+    std::size_t holders = 0;
+    for (P2pResolver* r : live) {
+      if (r->stored(aor)) ++holders;
+    }
+    // Owner plus successor_count replicas (stale extra copies may linger
+    // until expiry; fewer would mean re-replication failed).
+    EXPECT_GE(holders, 3u) << aor;
+    EXPECT_TRUE(resolve_blocking(0, aor).first) << aor;
+  }
+}
+
+TEST_F(P2pChurnFixture, LookupsSurviveCrashDuringStabilization) {
+  const auto aors = publish_many(24);
+
+  // Crash a member and resolve everything *immediately* -- before any
+  // probe has fired. Lookups whose route or owner was the dead node must
+  // recover through the per-hop retry ladder (origin retries aim at the
+  // owner/replica chain), not wait for ring repair.
+  resolvers_[5].reset();
+
+  std::size_t done = 0, hits = 0;
+  for (const auto& aor : aors) {
+    resolvers_[2]->resolve(aor,
+                           [&](std::optional<ContactBinding> b, int) {
+                             ++done;
+                             if (b) ++hits;
+                           });
+  }
+  const TimePoint deadline = sim_.now() + seconds(5);
+  while (done < aors.size() && sim_.now() < deadline) {
+    sim_.run_for(milliseconds(10));
+  }
+  EXPECT_EQ(done, aors.size());
+  EXPECT_EQ(hits, aors.size()) << "a single ring-node loss must not fail "
+                                  "any in-flight lookup";
+  // At least one key was owned by or routed through the dead node, so the
+  // retry path must actually have fired.
+  const auto* retries = sim_.ctx().metrics().find_counter(
+      "p2p.retry_attempts_total", "ring-2", "p2p");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GT(retries->value(), 0.0);
+}
+
+TEST(P2pChurnDeterminism, RetryPathIsIdenticalAcrossSimThreads) {
+  // The full churn story -- region-sharded testbed, ring-node crash,
+  // retries racing stabilization, restart with key handoff -- must be
+  // byte-identical for any --sim-threads (the tool-level equivalent is
+  // tests/chaos_p2p_identity.cmake).
+  auto run = [](unsigned threads) {
+    SimContext context;
+    scenario::Options o;
+    o.context = &context;
+    o.seed = 17;
+    o.nodes = 1;
+    o.sim_regions = 2;
+    o.sim_threads = threads;
+    scenario::Testbed bed(o);
+    scenario::Testbed::ProviderOptions po;
+    po.resolution = scenario::Testbed::Resolution::kP2p;
+    po.p2p_nodes = 4;
+    bed.add_provider("voicehoc.ch", po);
+    bed.start();
+
+    const auto ring = bed.p2p_ring("voicehoc.ch");
+    std::vector<std::string> aors;
+    for (int i = 0; i < 12; ++i) {
+      aors.push_back("det" + std::to_string(i) + "@voicehoc.ch");
+      ring[0]->publish(aors.back(),
+                       Uri::from_endpoint(
+                           {net::Address(192, 0, 2, 100 + i), 5060}, "u"),
+                       bed.sim().now() + seconds(600));
+    }
+    bed.run_for(seconds(1));
+
+    bed.crash_ring_node("voicehoc.ch", 2);
+    std::string transcript;
+    std::size_t done = 0;
+    for (const auto& aor : aors) {
+      bed.p2p_ring("voicehoc.ch")[0]->resolve(
+          aor, [&, aor](std::optional<ContactBinding> b, int hops) {
+            ++done;
+            transcript += aor + " " + (b ? b->contact.to_string() : "miss") +
+                          " hops=" + std::to_string(hops) + "\n";
+          });
+    }
+    while (done < aors.size()) bed.run_for(milliseconds(10));
+    bed.run_for(seconds(12));  // repair quiesces
+    bed.restart_ring_node("voicehoc.ch", 2);
+    bed.run_for(seconds(6));
+    bed.finalize_metrics();
+    return transcript + bed.ctx().metrics().to_json() + "\n" +
+           std::to_string(bed.sim().events_executed());
+  };
+  const std::string once = run(1);
+  EXPECT_EQ(once, run(2));
+  EXPECT_EQ(once, run(4));
 }
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,29 @@ bool is_flag_literal(const std::string& s) {
   return !last_dash;
 }
 
+/// Key=value option keys are surface too: a whole literal like "seed=" or
+/// "p2p=" (lowercase/digit words, single dashes, trailing '=') is how the
+/// runner parses its --chaos / --sweep parameters, and each must appear in
+/// the docs verbatim ("seed=N" counts -- the match is on the key prefix).
+bool is_option_key_literal(const std::string& s) {
+  if (s.size() < 2 || s.back() != '=') return false;
+  if (std::islower(static_cast<unsigned char>(s.front())) == 0) return false;
+  bool last_dash = false;
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '-') {
+      if (last_dash) return false;
+      last_dash = true;
+    } else if (std::islower(static_cast<unsigned char>(c)) != 0 ||
+               std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      last_dash = false;
+    } else {
+      return false;
+    }
+  }
+  return !last_dash;
+}
+
 std::set<std::string> flag_literals(const std::string& text) {
   std::set<std::string> flags;
   std::size_t pos = 0;
@@ -78,7 +101,9 @@ std::set<std::string> flag_literals(const std::string& text) {
     const std::size_t end = text.find('"', pos + 1);
     if (end == std::string::npos) break;
     const std::string literal = text.substr(pos + 1, end - pos - 1);
-    if (is_flag_literal(literal)) flags.insert(literal);
+    if (is_flag_literal(literal) || is_option_key_literal(literal)) {
+      flags.insert(literal);
+    }
     pos = end + 1;
   }
   return flags;
